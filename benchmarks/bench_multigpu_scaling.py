@@ -1,0 +1,45 @@
+"""Future work (Section VII) — projected multi-GPU strong scaling.
+
+The paper positions the fused single-GPU algorithm as the foundation for
+a multi-GPU extension.  This bench projects that extension with the slab
+decomposition model of :mod:`repro.gpu.multigpu` on the largest Table-I
+workload: near-linear scaling while DRAM traffic dominates, efficiency
+decaying as the undivided per-step overhead and NVLink halos grow
+relatively larger.
+"""
+
+from conftest import run_once
+
+from repro.bench.harness import full_scale_mlups, measure
+from repro.bench.workloads import TABLE1_DISTRIBUTIONS, sphere_tunnel
+from repro.core.fusion import FUSED_FULL
+from repro.gpu.multigpu import NVLINK3, PCIE4, scaling_curve
+from repro.io.tables import format_table
+
+
+def test_multigpu_scaling_projection(benchmark, report):
+    wl = sphere_tunnel(scale=0.125)
+
+    def run():
+        return measure(wl, FUSED_FULL, steps=2)
+
+    m = run_once(benchmark, run)
+    counts = [int(c) for c in reversed(TABLE1_DISTRIBUTIONS[2])]
+    _, cost = full_scale_mlups(m, list(TABLE1_DISTRIBUTIONS[2]))
+
+    rows_nv = scaling_curve(cost, m.steps, counts, max_gpus=8, link=NVLINK3)
+    rows_pci = scaling_curve(cost, m.steps, counts, max_gpus=8, link=PCIE4)
+    table = [[r["gpus"], r["mlups"], r["speedup"], r["efficiency"],
+              p["mlups"], p["speedup"]]
+             for r, p in zip(rows_nv, rows_pci)]
+    report("", format_table(
+        ["GPUs", "NVLink MLUPS", "Speedup", "Efficiency", "PCIe MLUPS",
+         "PCIe speedup"],
+        table, title="Projected strong scaling, 816x576x816 sphere workload"))
+
+    speedups = [r["speedup"] for r in rows_nv]
+    assert speedups[1] > 1.6          # 2 GPUs pay off clearly
+    assert speedups[7] > 3.0          # 8 GPUs still scale...
+    assert speedups[7] < 8.0          # ...sublinearly
+    assert rows_pci[7]["speedup"] < speedups[7]  # link bandwidth matters
+    benchmark.extra_info["speedup_8gpu"] = speedups[7]

@@ -1,0 +1,23 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark prints its table/figure reproduction through ``report``,
+which bypasses pytest's output capture so the numbers appear in the
+``pytest benchmarks/ --benchmark-only`` log that EXPERIMENTS.md cites.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print straight to the terminal, ignoring pytest capture."""
+    def _report(*lines: str) -> None:
+        with capsys.disabled():
+            for line in lines:
+                print(line)
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once (simulations are too heavy to repeat)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Adaptive mesh refinement following a travelling vortex pair.
+
+The paper's closing future-work item (Section VII): "Adaptive Mesh
+Refinement (AMR) for LBM, enabling dynamic grid resolution adjustments
+during runtime".  This example demonstrates the capability built on top
+of the static multi-resolution machinery:
+
+1. a Taylor-Green-like vortex field is advected across a periodic box by
+   a mean flow;
+2. every ``--interval`` coarse steps the vorticity sensor flags the
+   cells that need the finest resolution;
+3. ``regrid`` legalises the indicator into nested octree regions,
+   rebuilds the grid and transfers the solution conservatively.
+
+Watch the fine-level bounding box follow the vortices downstream.
+
+Run:  python examples/adaptive_refinement.py [--steps 120] [--interval 30]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import (DomainBC, FaceBC, RefinementSpec, Simulation, regrid,
+                   vorticity_indicator)
+from repro.validation.analytic import taylor_green_2d
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--size", type=int, default=48, help="coarse box edge")
+    ap.add_argument("--steps", type=int, default=120)
+    ap.add_argument("--interval", type=int, default=30,
+                    help="coarse steps between regrids")
+    args = ap.parse_args()
+
+    L = args.size
+    bc = DomainBC({f: FaceBC("periodic") for f in ("x-", "x+", "y-", "y+")})
+    nu, u0, drift = 0.02, 0.03, 0.04
+
+    # initial refinement around the initial vortex position
+    region = np.zeros((L, L), dtype=bool)
+    region[2:L // 3, 2:L // 3] = True
+    spec = RefinementSpec((L, L), [region], bc=bc)
+    sim = Simulation(spec, "D2Q9", "bgk", viscosity=nu)
+
+    def initial_u(centers):
+        # one vortex quarter-wavelength cell, plus a uniform drift along +x
+        local = taylor_green_2d(centers * 3.0, 0.0, nu, u0, (L, L))
+        window = np.exp(-(((centers[:, 0] - L / 6) ** 2
+                           + (centers[:, 1] - L / 6) ** 2) / (L / 8) ** 2))
+        u = local * window
+        u[0] += drift
+        return u
+
+    sim.initialize(u=initial_u)
+    print(f"periodic {L}x{L} box, drift {drift}, regrid every {args.interval} steps")
+
+    done = 0
+    while done < args.steps:
+        n = min(args.interval, args.steps - done)
+        sim.run(n)
+        done += n
+        pos = sim.positions(1)
+        center = pos.mean(axis=0) / 2.0  # fine coords -> coarse units
+        ind = vorticity_indicator(sim, fraction=0.3)
+        print(f"step {done:4d}: fine cells {pos.shape[0]:5d}, "
+              f"fine-region centroid ({center[0]:5.1f}, {center[1]:5.1f}), "
+              f"flagged {ind.sum():5d} finest cells, stable={sim.is_stable()}")
+        if done < args.steps:
+            sim = regrid(sim, desired_finest=ind)
+
+    print("\nThe centroid drifts with the mean flow: the refinement follows "
+          "the vortices, which is exactly the AMR capability the paper "
+          "lists as future work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Measurement harness shared by the ``benchmarks/`` suite and examples.
+
+`measure` runs a workload functionally under one fusion configuration and
+returns both the wall-clock MLUPS of the NumPy execution and the
+simulated-A100 MLUPS from the cost model over the recorded kernel trace.
+`full_scale_mlups` extrapolates the trace to paper-size voxel counts
+(see :mod:`repro.bench.model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.fusion import FusionConfig
+from ..core.simulation import Simulation, mlups
+from ..gpu.costmodel import TraceCost, cost_trace, predicted_mlups
+from ..gpu.device import A100_40GB, DeviceSpec
+from ..neon.runtime import KernelRecord
+from .model import level_factors, scale_trace
+from .workloads import Workload
+
+__all__ = ["Measurement", "measure", "full_scale_mlups"]
+
+
+@dataclass
+class Measurement:
+    """One (workload, fusion-config) data point."""
+
+    workload: str
+    config: str
+    steps: int
+    active_per_level: list[int]
+    wall_seconds: float
+    wall_mlups: float
+    trace: list[KernelRecord]
+    cost: TraceCost
+    sim_mlups: float
+
+    @property
+    def kernels_per_step(self) -> float:
+        return self.cost.kernels / self.steps
+
+    @property
+    def bytes_per_step(self) -> float:
+        return self.cost.bytes_total / self.steps
+
+
+def default_concurrency(config: FusionConfig) -> bool:
+    """Scheduling used to cost a config: the two baselines model the
+    distributed-heritage port (device sync after every kernel), while the
+    fused variants run under Neon's dependency-wave scheduling
+    (Section V-C)."""
+    return not config.name.startswith("baseline")
+
+
+def measure(workload: Workload, config: FusionConfig, steps: int = 5,
+            warmup: int = 1, device: DeviceSpec = A100_40GB,
+            concurrent: bool | None = None) -> Measurement:
+    """Run ``steps`` coarse steps and cost the recorded trace on ``device``."""
+    if concurrent is None:
+        concurrent = default_concurrency(config)
+    sim = Simulation(workload.spec, workload.lattice, workload.collision,
+                     viscosity=workload.viscosity, config=config)
+    if warmup:
+        sim.run(warmup)
+    sim.runtime.reset()
+    sim.elapsed = 0.0
+    start_steps = sim.steps_done
+    sim.run(steps)
+    n = sim.steps_done - start_steps
+    records = list(sim.runtime.records)
+    kbc = workload.collision.lower() == "kbc"
+    cost = cost_trace(records, device, kbc=kbc, concurrent=concurrent)
+    active = sim.mgrid.active_per_level()
+    return Measurement(
+        workload=workload.name, config=config.name, steps=n,
+        active_per_level=active,
+        wall_seconds=sim.elapsed,
+        wall_mlups=mlups(active, n, sim.elapsed),
+        trace=records, cost=cost,
+        sim_mlups=predicted_mlups(active, n, cost))
+
+
+def full_scale_mlups(m: Measurement, full_counts_finest_first: list[float],
+                     device: DeviceSpec = A100_40GB, kbc: bool = True,
+                     concurrent: bool | None = None) -> tuple[float, TraceCost]:
+    """Extrapolate a measurement's trace to full-size per-level counts.
+
+    ``full_counts_finest_first`` follows Table I's convention (finest
+    level first); the measurement's counts are coarsest-first.
+    """
+    if concurrent is None:
+        concurrent = not m.config.startswith("baseline")
+    full = list(reversed(full_counts_finest_first))
+    if len(full) != len(m.active_per_level):
+        raise ValueError("level count mismatch between measurement and target")
+    vol, area = level_factors(m.active_per_level, full, d=3)
+    scaled = scale_trace(m.trace, vol, area)
+    cost = cost_trace(scaled, device, kbc=kbc, concurrent=concurrent)
+    return predicted_mlups([int(c) for c in full], m.steps, cost), cost

@@ -1,0 +1,30 @@
+"""Core LBM: lattices, collision, units, engine, fusion variants, stepper."""
+
+from .amr import legalize_regions, regrid, vorticity_indicator
+from .collision import (BGK, KBC, TRT, CollisionModel, equilibrium, guo_source,
+                        macroscopics, make_collision)
+from .diagnostics import (drag_coefficient, enstrophy_2d, kinetic_energy,
+                          solid_force)
+from .engine import Engine
+from .fusion import (ABLATION_CONFIGS, FUSE_CA, FUSE_CA_SE_SO, FUSE_SE, FUSE_SO,
+                     FUSED_FULL, MODIFIED_BASELINE, ORIGINAL_BASELINE, FusionConfig,
+                     get_config)
+from .lattice import D2Q9, D3Q19, D3Q27, Lattice, get_lattice
+from .simulation import Simulation, mlups
+from .stepper import NonUniformStepper
+from .units import (FlowScales, omega_at_level, omega_from_viscosity, tau_at_level,
+                    viscosity_from_omega)
+
+__all__ = [
+    "legalize_regions", "regrid", "vorticity_indicator",
+    "BGK", "KBC", "TRT", "CollisionModel", "equilibrium", "guo_source",
+    "macroscopics", "make_collision",
+    "drag_coefficient", "enstrophy_2d", "kinetic_energy", "solid_force",
+    "Engine", "NonUniformStepper", "Simulation", "mlups",
+    "ABLATION_CONFIGS", "FUSE_CA", "FUSE_CA_SE_SO", "FUSE_SE", "FUSE_SO",
+    "FUSED_FULL", "MODIFIED_BASELINE", "ORIGINAL_BASELINE", "FusionConfig",
+    "get_config",
+    "D2Q9", "D3Q19", "D3Q27", "Lattice", "get_lattice",
+    "FlowScales", "omega_at_level", "omega_from_viscosity", "tau_at_level",
+    "viscosity_from_omega",
+]

@@ -1,0 +1,84 @@
+"""Fusion configurations: the design space of Figure 4 and the Fig. 9 ablation.
+
+Every configuration executes identical arithmetic (see
+:mod:`repro.core.engine`); what changes is how the per-substep operations
+are grouped into kernels, and — for the original baseline — where the
+ghost layer lives and who initiates the Accumulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "FusionConfig", "ORIGINAL_BASELINE", "MODIFIED_BASELINE",
+    "FUSE_CA", "FUSE_SE", "FUSE_SO", "FUSE_CA_SE_SO", "FUSED_FULL",
+    "ABLATION_CONFIGS", "get_config",
+]
+
+
+@dataclass(frozen=True)
+class FusionConfig:
+    """One point in the optimization space of Section IV.
+
+    Attributes
+    ----------
+    original_layout:
+        ``True`` reproduces the distributed-era algorithm (Fig. 4a): four
+        fine ghost layers per interface, Explosion as an explicit
+        coarse-to-ghost copy kernel, and Accumulate as a gather initiated
+        by the coarse level.  Incompatible with any fusion — the gather
+        Accumulate creates the data dependency the paper points out.
+    fuse_ca / fuse_se / fuse_so / fuse_cs_finest:
+        The fusions of Figs. 4c, 4d, 4e and 4f respectively.
+    """
+
+    name: str
+    original_layout: bool = False
+    fuse_ca: bool = False
+    fuse_se: bool = False
+    fuse_so: bool = False
+    fuse_cs_finest: bool = False
+
+    def __post_init__(self) -> None:
+        if self.original_layout and (self.fuse_ca or self.fuse_se or self.fuse_so
+                                     or self.fuse_cs_finest):
+            raise ValueError(
+                "the original baseline cannot fuse kernels: its gather-based "
+                "Accumulate forces the coarse level to wait for the fine level "
+                "(Section IV-B)")
+        if self.fuse_cs_finest and not self.fuse_ca:
+            raise ValueError(
+                "CASE fusion implies Collision+Accumulate fusion on the finest "
+                "level; enable fuse_ca as well")
+
+
+#: Fig. 4a — the algorithm of Schornbaum & Rüde as designed for clusters.
+ORIGINAL_BASELINE = FusionConfig("baseline-4a", original_layout=True)
+#: Fig. 4b — the paper's baseline: coarse ghost layer + scatter Accumulate.
+MODIFIED_BASELINE = FusionConfig("baseline-4b")
+#: Fig. 4c — Collision fused with Accumulate.
+FUSE_CA = FusionConfig("fuse-CA", fuse_ca=True)
+#: Fig. 4d — Streaming fused with Explosion.
+FUSE_SE = FusionConfig("fuse-SE", fuse_se=True)
+#: Fig. 4e — Streaming fused with Coalescence.
+FUSE_SO = FusionConfig("fuse-SO", fuse_so=True)
+#: All single-step fusions, no CASE (Fig. 4e composite).
+FUSE_CA_SE_SO = FusionConfig("fuse-CA+SE+SO", fuse_ca=True, fuse_se=True, fuse_so=True)
+#: Fig. 4f — our full configuration: CASE on the finest level, SEO elsewhere.
+FUSED_FULL = FusionConfig("ours-4f", fuse_ca=True, fuse_se=True, fuse_so=True,
+                          fuse_cs_finest=True)
+
+#: The configurations of the Fig. 9 ablation, baseline first.
+ABLATION_CONFIGS = (MODIFIED_BASELINE, FUSE_CA, FUSE_SE, FUSE_SO,
+                    FUSE_CA_SE_SO, FUSED_FULL)
+
+_BY_NAME = {c.name: c for c in
+            (ORIGINAL_BASELINE,) + ABLATION_CONFIGS}
+
+
+def get_config(name: str) -> FusionConfig:
+    """Look a preset up by name (see :data:`ABLATION_CONFIGS`)."""
+    if name not in _BY_NAME:
+        raise KeyError(f"unknown fusion config {name!r}; choose from {sorted(_BY_NAME)}")
+    return _BY_NAME[name]

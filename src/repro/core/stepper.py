@@ -1,0 +1,72 @@
+"""The non-uniform time-stepping recursion (paper Algorithm 1).
+
+One call to :meth:`NonUniformStepper.step` advances the *coarsest* level
+by one time step; level ``L`` executes ``2^L`` substeps per coarse step
+(acoustic scaling).  The recursion is identical for every
+:class:`~repro.core.fusion.FusionConfig` — only the kernel grouping
+changes, which is how the paper's Fig. 2 graphs are generated from the
+very same driver.
+"""
+
+from __future__ import annotations
+
+from .engine import Engine
+from .fusion import MODIFIED_BASELINE, FusionConfig
+
+__all__ = ["NonUniformStepper"]
+
+
+class NonUniformStepper:
+    """Drives an :class:`~repro.core.engine.Engine` with Algorithm 1."""
+
+    def __init__(self, engine: Engine, config: FusionConfig = MODIFIED_BASELINE) -> None:
+        self.engine = engine
+        self.config = config
+        self.num_levels = engine.mgrid.num_levels
+        self.steps_done = 0
+
+    def step(self) -> None:
+        """Advance the coarsest level by one time step."""
+        self._advance(0)
+        self.engine.rt.step_marker()
+        self.steps_done += 1
+
+    def run(self, n_steps: int, callback=None, callback_every: int = 1) -> None:
+        """Run ``n_steps`` coarse steps, optionally invoking ``callback(self)``."""
+        for k in range(n_steps):
+            self.step()
+            if callback is not None and (k + 1) % callback_every == 0:
+                callback(self)
+
+    # -- Algorithm 1 -----------------------------------------------------------
+    def _advance(self, lv: int) -> None:
+        cfg = self.config
+        eng = self.engine
+        finest = lv == self.num_levels - 1
+        halves = 1 if lv == 0 else 2
+        for _ in range(halves):
+            if finest and cfg.fuse_cs_finest:
+                # Fig. 4f: the whole substep is one CASE kernel.
+                eng.op_fused_case(lv)
+            else:
+                eng.op_collide(
+                    lv,
+                    fuse_accumulate=cfg.fuse_ca and lv > 0 and not cfg.original_layout)
+                if lv > 0 and not (cfg.fuse_ca and not cfg.original_layout):
+                    eng.op_accumulate(lv, gather=cfg.original_layout)
+                if not finest:
+                    self._advance(lv + 1)
+                if lv > 0 and cfg.original_layout:
+                    eng.op_explosion_copy(lv)
+                # Streaming and the cross-level pulls.  Writes of S, E and O
+                # target disjoint population entries, so they may execute in
+                # any order (on the GPU they run concurrently, Fig. 2); the
+                # engine applies the bulk gather first, then the patches.
+                eng.op_stream(lv,
+                              fuse_explosion=cfg.fuse_se,
+                              fuse_coalescence=cfg.fuse_so,
+                              exp_from_ghost=cfg.original_layout)
+                if not cfg.fuse_se:
+                    eng.op_explode(lv, exp_from_ghost=cfg.original_layout)
+                if not cfg.fuse_so:
+                    eng.op_coalesce(lv)

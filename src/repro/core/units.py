@@ -1,0 +1,109 @@
+"""LBM units, acoustic scaling and per-level relaxation (paper Section II-A).
+
+All quantities are expressed in *LBM units* of the coarsest level:
+``dx_0 = dt_0 = 1`` and ``c_s^2 = 1/3``.  A refinement ratio of two gives
+``dx_L = dt_L = 2^{-L}`` (acoustic scaling keeps ``c_s`` constant across
+levels), and demanding a level-independent kinematic viscosity yields the
+paper's Equation (9) for the relaxation parameter ``omega_L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .lattice import CS2
+
+__all__ = [
+    "omega_from_viscosity",
+    "viscosity_from_omega",
+    "omega_at_level",
+    "tau_at_level",
+    "FlowScales",
+]
+
+
+def omega_from_viscosity(nu: float) -> float:
+    """Relaxation parameter ``omega = dt / tau`` on the coarsest level.
+
+    From Eq. (4): ``tau = nu / c_s^2 + dt / 2`` with ``dt = 1``.
+    """
+    if nu <= 0:
+        raise ValueError(f"kinematic viscosity must be positive, got {nu}")
+    return 1.0 / (nu / CS2 + 0.5)
+
+
+def viscosity_from_omega(omega: float) -> float:
+    """Inverse of :func:`omega_from_viscosity` (Eq. 4 with dt = 1)."""
+    if not 0.0 < omega < 2.0:
+        raise ValueError(f"omega must lie in (0, 2) for positive viscosity, got {omega}")
+    return CS2 * (1.0 / omega - 0.5)
+
+
+def omega_at_level(omega0: float, level: int) -> float:
+    """Equation (9): relaxation parameter on grid level ``level``.
+
+    ``omega_L = 2 omega_0 / (2^{L+1} + (1 - 2^L) omega_0)`` keeps the
+    physical viscosity identical on every level under acoustic scaling.
+    """
+    if level < 0:
+        raise ValueError(f"level must be non-negative, got {level}")
+    if not 0.0 < omega0 < 2.0:
+        raise ValueError(f"omega0 must lie in (0, 2), got {omega0}")
+    p = 2.0 ** level
+    return 2.0 * omega0 / (2.0 * p + (1.0 - p) * omega0)
+
+
+def tau_at_level(tau0: float, level: int) -> float:
+    """Relaxation *time* on level ``level`` in that level's own time units.
+
+    Derived in Section II-A:
+    ``tau_L / dt_L = 2^L (tau_0 / dt_0) + (1 - 2^L) / 2``.
+    """
+    p = 2.0 ** level
+    return p * tau0 + 0.5 * (1.0 - p)
+
+
+@dataclass(frozen=True)
+class FlowScales:
+    """Non-dimensional bookkeeping for a simulation setup.
+
+    Parameters
+    ----------
+    length:
+        Characteristic length in *coarse* lattice units (e.g. the cavity
+        edge or the sphere radius).
+    velocity:
+        Characteristic velocity in lattice units; must stay well below
+        ``c_s`` for the weakly-compressible regime (Ma = u / c_s).
+    reynolds:
+        Target Reynolds number ``Re = U L / nu``.
+    """
+
+    length: float
+    velocity: float
+    reynolds: float
+
+    def __post_init__(self) -> None:
+        if self.length <= 0 or self.velocity <= 0 or self.reynolds <= 0:
+            raise ValueError("length, velocity and reynolds must all be positive")
+
+    @property
+    def viscosity(self) -> float:
+        """Kinematic viscosity in coarse lattice units."""
+        return self.velocity * self.length / self.reynolds
+
+    @property
+    def omega0(self) -> float:
+        """BGK relaxation parameter on the coarsest level."""
+        return omega_from_viscosity(self.viscosity)
+
+    @property
+    def mach(self) -> float:
+        """Mach number based on the lattice speed of sound."""
+        return self.velocity / np.sqrt(CS2)
+
+    def omega(self, level: int) -> float:
+        """Relaxation parameter on an arbitrary level (Eq. 9)."""
+        return omega_at_level(self.omega0, level)

@@ -1,0 +1,18 @@
+"""GPU hardware model: device specs, roofline cost model, memory footprint."""
+
+from .costmodel import (FLOPS_PER_CELL, KernelCost, TraceCost, cost_trace,
+                        kernel_time_us, predicted_mlups)
+from .device import (A100_40GB, A100_80GB, CPU_XEON_32C, V100_32GB, DeviceSpec,
+                     get_device)
+from .memory import (MemoryReport, ghost_layer_bytes, grid_memory_report,
+                     mc_level_counts, refined_memory_bytes, uniform_aa_max_cube,
+                     uniform_memory_bytes)
+
+__all__ = [
+    "FLOPS_PER_CELL", "KernelCost", "TraceCost", "cost_trace", "kernel_time_us",
+    "predicted_mlups",
+    "A100_40GB", "A100_80GB", "CPU_XEON_32C", "V100_32GB", "DeviceSpec",
+    "get_device",
+    "MemoryReport", "ghost_layer_bytes", "grid_memory_report", "mc_level_counts",
+    "refined_memory_bytes", "uniform_aa_max_cube", "uniform_memory_bytes",
+]

@@ -1,0 +1,89 @@
+"""Device specifications for the performance model.
+
+The paper's numbers come from an NVIDIA A100-40GB (DGX, CUDA 11.2).  This
+module captures the handful of hardware parameters the cost model needs.
+LBM is memory-bound (Section I), so the dominant terms are DRAM bandwidth
+and — for the many small interface kernels of the baseline — the fixed
+kernel launch latency.
+
+The CPU specs parameterize the comparators of Section VI-A: Palabos runs
+on a multi-core CPU, so its stand-in is costed against CPU bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "A100_40GB", "A100_80GB", "V100_32GB", "CPU_XEON_32C",
+           "get_device"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Hardware parameters of one execution target.
+
+    Attributes
+    ----------
+    mem_bandwidth_gbs:
+        Peak DRAM bandwidth in GB/s.
+    sustained_fraction:
+        Fraction of peak a well-coalesced stencil kernel sustains
+        (AoSoA layout + SFC ordering keep this high; Section V-A).
+    launch_overhead_us:
+        Fixed cost of one kernel launch (driver + scheduling), in
+        microseconds.  On CPUs this models the per-sweep function-call
+        and OpenMP fork/join cost instead.
+    sync_overhead_us:
+        Cost of one device synchronisation point, charged once per
+        dependency wave (concurrent scheduling) or once per kernel
+        (naive serial scheduling).  This is the dominant term for the
+        baseline's many tiny interface kernels on small domains —
+        exactly the overhead the paper's fusion removes.
+    atomic_penalty:
+        Multiplier applied to atomically-written bytes (the Accumulate
+        scatter).  Contention is low — at most ``2^d`` writers per ghost
+        cell (Section IV-A) — so the penalty is modest.
+    flops_gflops:
+        Double-precision throughput, used for the (rarely binding)
+        compute roof.
+    mem_capacity_gb:
+        Device memory, the Fig. 1 capacity constraint.
+    """
+
+    name: str
+    mem_bandwidth_gbs: float
+    mem_capacity_gb: float
+    launch_overhead_us: float = 4.0
+    sync_overhead_us: float = 120.0
+    sustained_fraction: float = 0.72
+    atomic_penalty: float = 2.0
+    flops_gflops: float = 9700.0
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sustained bandwidth in bytes per microsecond."""
+        return self.mem_bandwidth_gbs * self.sustained_fraction * 1e3
+
+    @property
+    def capacity_bytes(self) -> int:
+        return int(self.mem_capacity_gb * 1e9)
+
+
+#: The paper's device (Section VI).
+A100_40GB = DeviceSpec("A100-40GB", mem_bandwidth_gbs=1555.0, mem_capacity_gb=40.0)
+A100_80GB = DeviceSpec("A100-80GB", mem_bandwidth_gbs=2039.0, mem_capacity_gb=80.0)
+V100_32GB = DeviceSpec("V100-32GB", mem_bandwidth_gbs=900.0, mem_capacity_gb=32.0,
+                       flops_gflops=7800.0)
+#: Comparator for the Palabos (multi-core CPU) experiment of Section VI-A.
+CPU_XEON_32C = DeviceSpec("Xeon-32c", mem_bandwidth_gbs=200.0, mem_capacity_gb=512.0,
+                          launch_overhead_us=1.0, sync_overhead_us=5.0,
+                          sustained_fraction=0.55, atomic_penalty=1.0,
+                          flops_gflops=1500.0)
+
+_REGISTRY = {d.name: d for d in (A100_40GB, A100_80GB, V100_32GB, CPU_XEON_32C)}
+
+
+def get_device(name: str) -> DeviceSpec:
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown device {name!r}; choose from {sorted(_REGISTRY)}")
+    return _REGISTRY[name]

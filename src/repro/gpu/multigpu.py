@@ -1,0 +1,113 @@
+"""Multi-GPU scaling model — the paper's first future-work item.
+
+Section VII: "The foundation laid by our optimized single GPU algorithm
+positions us favorably for future research in extending this approach to
+multi-GPU frameworks".  This module provides the analytic projection of
+that extension: a slab decomposition of the refined domain across ``G``
+devices, with per-level halo exchanges over an interconnect.
+
+Model assumptions (documented, deliberately simple):
+
+* voxels of every level split evenly across slabs (the paper's workloads
+  centre the refined region, so a balanced split needs a load-balancing
+  partitioner — we model its *outcome*, perfect balance, and expose an
+  ``imbalance`` knob for sensitivity studies);
+* DRAM-traffic time divides by ``G``; per-step launch/sync overhead does
+  not (each device drives its own schedule);
+* each slab exchanges two halo faces per level per substep; a level's
+  face holds ``~V_L^(2/3)`` voxels with a full population set each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .costmodel import TraceCost
+from .device import DeviceSpec
+
+__all__ = ["Interconnect", "NVLINK3", "PCIE4", "multi_gpu_time_us",
+           "scaling_curve"]
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Device-to-device link parameters."""
+
+    name: str
+    bandwidth_gbs: float       # effective uni-directional bandwidth
+    latency_us: float          # per-message overhead
+
+    @property
+    def bytes_per_us(self) -> float:
+        return self.bandwidth_gbs * 1e3
+
+
+#: NVLink 3.0 (A100, as in the paper's DGX box).
+NVLINK3 = Interconnect("NVLink3", bandwidth_gbs=250.0, latency_us=8.0)
+PCIE4 = Interconnect("PCIe4 x16", bandwidth_gbs=24.0, latency_us=15.0)
+
+
+def _halo_bytes_per_step(active_per_level: list[int], q: int,
+                         itemsize: int) -> tuple[float, int]:
+    """(bytes, messages) exchanged per coarse step for one slab."""
+    total = 0.0
+    msgs = 0
+    for lv, v in enumerate(active_per_level):
+        if v <= 0:
+            continue
+        face = float(v) ** (2.0 / 3.0)
+        substeps = 2 ** lv
+        total += 2.0 * face * q * itemsize * substeps
+        msgs += 2 * substeps
+    return total, msgs
+
+
+def multi_gpu_time_us(single: TraceCost, n_steps: int,
+                      active_per_level: list[int], gpus: int, *,
+                      q: int = 27, itemsize: int = 8,
+                      link: Interconnect = NVLINK3,
+                      imbalance: float = 1.0) -> float:
+    """Projected time of ``n_steps`` coarse steps on ``gpus`` devices.
+
+    ``single`` is the single-device cost of the same trace;
+    ``imbalance`` >= 1 inflates the slowest slab's compute share.
+    """
+    if gpus < 1:
+        raise ValueError("gpus must be >= 1")
+    if imbalance < 1.0:
+        raise ValueError("imbalance is a >= 1 multiplier on the slowest slab")
+    compute = single.mem_us * imbalance / gpus + single.launch_us
+    if gpus == 1:
+        return compute
+    halo_bytes, msgs = _halo_bytes_per_step(active_per_level, q, itemsize)
+    comm = n_steps * (halo_bytes / link.bytes_per_us + msgs * link.latency_us)
+    return compute + comm
+
+
+def scaling_curve(single: TraceCost, n_steps: int,
+                  active_per_level: list[int], max_gpus: int = 8, *,
+                  q: int = 27, itemsize: int = 8,
+                  link: Interconnect = NVLINK3,
+                  imbalance: float = 1.0) -> list[dict]:
+    """Strong-scaling table: one row per device count.
+
+    Each row reports the projected time, MLUPS, speedup over one device
+    and parallel efficiency.
+    """
+    updates = sum(v * 2 ** lv for lv, v in enumerate(active_per_level)) * n_steps
+    rows = []
+    t1 = None
+    for g in range(1, max_gpus + 1):
+        t = multi_gpu_time_us(single, n_steps, active_per_level, g,
+                              q=q, itemsize=itemsize, link=link,
+                              imbalance=imbalance)
+        if t1 is None:
+            t1 = t
+        rows.append({
+            "gpus": g,
+            "time_us": t,
+            "mlups": updates / t,
+            "speedup": t1 / t,
+            "efficiency": t1 / (t * g),
+        })
+    return rows

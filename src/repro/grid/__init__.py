@@ -1,0 +1,14 @@
+"""Block-sparse multi-resolution grid substrate."""
+
+from .geometry import (AirplaneProxy, Box, Ellipsoid, Shape, Sphere, Union,
+                       shell_refinement, voxelize, wall_refinement)
+from .multigrid import (CompiledLevel, DomainBC, FaceBC, MultiGrid, RefinementSpec,
+                        build_multigrid)
+from .sparse_grid import BlockSparseGrid
+
+__all__ = [
+    "AirplaneProxy", "Box", "Ellipsoid", "Shape", "Sphere", "Union",
+    "shell_refinement", "voxelize", "wall_refinement",
+    "CompiledLevel", "DomainBC", "FaceBC", "MultiGrid", "RefinementSpec",
+    "build_multigrid", "BlockSparseGrid",
+]

@@ -1,0 +1,68 @@
+"""Per-block activity bitmasks (paper Section V-A).
+
+Each block of ``B^d`` cells carries a bitmask recording which of its cells
+are active.  With the default ``B = 4`` in 3D a block holds 64 cells, i.e.
+exactly one ``uint64`` word — the same trick the CUDA implementation uses.
+Bits are indexed by the block-local cell index (C-order within the block).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pack_bits", "unpack_bits", "popcount", "test_bits", "words_per_block"]
+
+
+def words_per_block(cells_per_block: int) -> int:
+    """Number of ``uint64`` words needed to cover ``cells_per_block`` bits."""
+    if cells_per_block <= 0:
+        raise ValueError("cells_per_block must be positive")
+    return (cells_per_block + 63) // 64
+
+
+def pack_bits(flags: np.ndarray) -> np.ndarray:
+    """Pack a boolean array ``(nblocks, cells_per_block)`` into uint64 words.
+
+    Returns an array of shape ``(nblocks, words_per_block)``.
+    """
+    flags = np.asarray(flags, dtype=bool)
+    if flags.ndim != 2:
+        raise ValueError(f"expected 2-D flags array, got shape {flags.shape}")
+    nb, ncell = flags.shape
+    nw = words_per_block(ncell)
+    padded = np.zeros((nb, nw * 64), dtype=bool)
+    padded[:, :ncell] = flags
+    bits = padded.reshape(nb, nw, 64)
+    weights = (np.uint64(1) << np.arange(64, dtype=np.uint64))
+    return (bits.astype(np.uint64) * weights).sum(axis=2, dtype=np.uint64)
+
+
+def unpack_bits(words: np.ndarray, cells_per_block: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; returns ``(nblocks, cells_per_block)`` bools."""
+    words = np.asarray(words, dtype=np.uint64)
+    if words.ndim != 2:
+        raise ValueError(f"expected 2-D word array, got shape {words.shape}")
+    nb, nw = words.shape
+    shifts = np.arange(64, dtype=np.uint64)
+    bits = (words[:, :, None] >> shifts) & np.uint64(1)
+    flat = bits.reshape(nb, nw * 64).astype(bool)
+    return flat[:, :cells_per_block]
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Number of set bits per block, shape ``(nblocks,)``."""
+    words = np.asarray(words, dtype=np.uint64)
+    if hasattr(np, "bitwise_count"):  # NumPy >= 2.0
+        return np.bitwise_count(words).sum(axis=-1).astype(np.int64)
+    shifts = np.arange(64, dtype=np.uint64)
+    bits = (words[..., None] >> shifts) & np.uint64(1)
+    return bits.sum(axis=(-1, -2)).astype(np.int64)
+
+
+def test_bits(words: np.ndarray, block_ids: np.ndarray, local_ids: np.ndarray) -> np.ndarray:
+    """Vectorised bit test: is cell ``local_ids[k]`` of block ``block_ids[k]`` set?"""
+    block_ids = np.asarray(block_ids, dtype=np.int64)
+    local_ids = np.asarray(local_ids, dtype=np.int64)
+    word = local_ids // 64
+    bit = (local_ids % 64).astype(np.uint64)
+    return ((words[block_ids, word] >> bit) & np.uint64(1)).astype(bool)

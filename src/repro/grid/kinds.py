@@ -1,0 +1,40 @@
+"""Per-(cell, direction) pull classification used by the streaming kernels.
+
+During streaming, every owned cell pulls population ``f_i`` from the
+position ``x - e_i``.  The compile step (:mod:`repro.grid.multigrid`)
+classifies each pull once, so the time loop is pure vectorised gathers:
+
+* ``INTERIOR``    — source owned by the same level (includes periodic wraps);
+* ``BOUNCEBACK``  — source is a resting solid / wall: halfway bounce-back;
+* ``MOVING``      — source is a moving wall (lid, inlet): bounce-back plus
+  the ``2 w_i rho_w (e_i . u_w)/c_s^2`` momentum term;
+* ``OUTFLOW``     — source is an open outlet: the missing population is
+  assigned the lattice weight ``w_i`` (paper Section VI-B);
+* ``SLIP``        — source is a free-slip (symmetry) plane: specular
+  reflection, the wall-normal velocity component flips;
+* ``EXPLOSION``   — source owned by the next-coarser level (Eq. 10);
+* ``COALESCENCE`` — source owned by the next-finer level: read the ghost
+  accumulator and average (Eq. 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+INTERIOR = np.int8(0)
+BOUNCEBACK = np.int8(1)
+MOVING = np.int8(2)
+OUTFLOW = np.int8(3)
+EXPLOSION = np.int8(4)
+COALESCENCE = np.int8(5)
+SLIP = np.int8(6)
+
+KIND_NAMES = {
+    int(INTERIOR): "interior",
+    int(BOUNCEBACK): "bounceback",
+    int(MOVING): "moving",
+    int(OUTFLOW): "outflow",
+    int(EXPLOSION): "explosion",
+    int(COALESCENCE): "coalescence",
+    int(SLIP): "slip",
+}

@@ -1,0 +1,11 @@
+"""Snapshots, slices, probes and report tables."""
+
+from .checkpoint import restore_checkpoint, save_checkpoint
+from .sampling import (centerline_profile, composite_fields, level_dense,
+                       load_snapshot, plane_slice, save_snapshot)
+from .tables import format_table, print_table
+
+__all__ = ["restore_checkpoint", "save_checkpoint",
+           "centerline_profile", "composite_fields", "level_dense",
+           "load_snapshot", "plane_slice", "save_snapshot",
+           "format_table", "print_table"]

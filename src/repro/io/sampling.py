@@ -1,0 +1,119 @@
+"""Field sampling: per-level dense views, composite finest-resolution
+fields, centerline probes and NPZ snapshots.
+
+The multi-resolution solution lives on the owned cells of each level; for
+validation (Fig. 7) and visualisation (Figs. 1, 6, 8) it is convenient to
+resample everything onto the finest resolution.  Coarse cells are
+injected as piecewise-constant blocks — adequate for profiles and plots,
+and the refinement always places fine cells where gradients live.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.simulation import Simulation
+
+__all__ = ["level_dense", "composite_fields", "centerline_profile",
+           "plane_slice", "save_snapshot", "load_snapshot"]
+
+
+def level_dense(sim: Simulation, level: int) -> tuple[np.ndarray, np.ndarray]:
+    """Dense (rho, u) arrays of one level over its full box; NaN where not owned.
+
+    Shapes: rho ``level_shape``, u ``(d,) + level_shape``.
+    """
+    spec = sim.mgrid.spec
+    shape = spec.level_shape(level)
+    d = spec.d
+    rho_dense = np.full(shape, np.nan)
+    u_dense = np.full((d,) + shape, np.nan)
+    rho, u = sim.macroscopics(level)
+    pos = sim.positions(level)
+    idx = tuple(pos.T)
+    rho_dense[idx] = rho
+    for a in range(d):
+        u_dense[(a,) + idx] = u[a]
+    return rho_dense, u_dense
+
+
+def _upsample_to(arr: np.ndarray, factor: int) -> np.ndarray:
+    out = arr
+    for axis in range(arr.ndim):
+        out = np.repeat(out, factor, axis=axis)
+    return out
+
+
+def composite_fields(sim: Simulation) -> tuple[np.ndarray, np.ndarray]:
+    """(rho, u) of the whole domain resampled at the finest resolution.
+
+    Every cell is covered by exactly one level, so the composite has no
+    NaNs outside solid cells.
+    """
+    spec = sim.mgrid.spec
+    lmax = sim.num_levels - 1
+    finest_shape = spec.level_shape(lmax)
+    d = spec.d
+    rho_out = np.full(finest_shape, np.nan)
+    u_out = np.full((d,) + finest_shape, np.nan)
+    for lv in range(sim.num_levels):
+        factor = 2 ** (lmax - lv)
+        rho_l, u_l = level_dense(sim, lv)
+        rho_up = _upsample_to(rho_l, factor)
+        owned = ~np.isnan(rho_up)
+        rho_out[owned] = rho_up[owned]
+        for a in range(d):
+            ua = _upsample_to(u_l[a], factor)
+            u_out[a][owned] = ua[owned]
+    return rho_out, u_out
+
+
+def centerline_profile(sim: Simulation, axis: int, component: int
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Velocity component along the domain centerline parallel to ``axis``.
+
+    Returns ``(s, value)`` where ``s`` is the normalized coordinate in
+    [0, 1] along the line through the box centre.  This is the Fig.-7
+    probe: e.g. ``axis=1, component=0`` samples u(y) on the vertical
+    centerline.
+    """
+    _, u = composite_fields(sim)
+    comp = u[component]
+    idx: list = []
+    for a, n in enumerate(comp.shape):
+        if a == axis:
+            idx.append(slice(None))
+        else:
+            idx.append(n // 2)
+    line = comp[tuple(idx)]
+    n = comp.shape[axis]
+    s = (np.arange(n) + 0.5) / n
+    return s, line
+
+
+def plane_slice(sim: Simulation, axis: int, position: float = 0.5
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """(rho, |u|) on the plane ``axis = position`` (normalized), finest res."""
+    rho, u = composite_fields(sim)
+    k = int(position * rho.shape[axis])
+    k = min(max(k, 0), rho.shape[axis] - 1)
+    sl = [slice(None)] * rho.ndim
+    sl[axis] = k
+    speed = np.sqrt((u ** 2).sum(axis=0))
+    return rho[tuple(sl)], speed[tuple(sl)]
+
+
+def save_snapshot(sim: Simulation, path: str) -> None:
+    """Persist the composite fields plus metadata to an ``.npz`` file."""
+    rho, u = composite_fields(sim)
+    np.savez_compressed(
+        path, rho=rho, u=u,
+        steps=sim.steps_done,
+        active_per_level=np.asarray(sim.mgrid.active_per_level()),
+        base_shape=np.asarray(sim.mgrid.spec.base_shape),
+    )
+
+
+def load_snapshot(path: str) -> dict:
+    with np.load(path) as data:
+        return {k: data[k] for k in data.files}

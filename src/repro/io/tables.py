@@ -1,0 +1,32 @@
+"""Plain-text table rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "print_table"]
+
+
+def format_table(headers: list[str], rows: list[list], title: str | None = None,
+                 floatfmt: str = "{:.2f}") -> str:
+    """Monospace table with right-aligned numeric columns."""
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return floatfmt.format(v)
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers: list[str], rows: list[list], title: str | None = None,
+                floatfmt: str = "{:.2f}") -> None:
+    print(format_table(headers, rows, title=title, floatfmt=floatfmt))

@@ -1,0 +1,7 @@
+"""Mini-Neon programming-model substrate: runtime, trace, dependency graphs."""
+
+from .graph import build_dependency_graph, graph_stats, schedule_waves
+from .runtime import FieldRef, KernelRecord, Runtime
+
+__all__ = ["build_dependency_graph", "graph_stats", "schedule_waves",
+           "FieldRef", "KernelRecord", "Runtime"]

@@ -1,0 +1,118 @@
+"""Mini-Neon: the programming-model substrate (paper Section V-C).
+
+Neon composes GPU applications from *kernels* that declare which fields
+they read and write; the runtime extracts the data-dependency graph,
+schedules kernels, and places synchronisations only where needed.  We
+reproduce the parts of that model the paper relies on:
+
+* :class:`FieldRef` — identity of a data container (a field at a level);
+* :class:`KernelRecord` — one executed kernel with its declared
+  reads/writes and its memory-traffic footprint;
+* :class:`Runtime` — executes kernel bodies immediately (host = the
+  "device") while recording every launch for the profiler, the
+  dependency-graph analysis (Fig. 2) and the GPU cost model.
+
+The *functional* result of a program never depends on the recording; the
+records are a faithful trace from which launch counts, bytes moved and
+synchronisation depth are derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FieldRef", "KernelRecord", "Runtime"]
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    """Identity of a field instance on one grid level."""
+
+    name: str
+    level: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}@{self.level}"
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """Trace entry for one kernel launch.
+
+    ``bytes_read``/``bytes_written`` count the *payload* DRAM traffic the
+    equivalent CUDA kernel would generate; ``atomic_bytes`` is the subset
+    of the writes performed with atomic adds (the Accumulate scatter).
+    ``n_cells`` is the number of lattice cells the kernel touches (its
+    thread count, up to block-granularity rounding).
+    """
+
+    name: str
+    level: int
+    n_cells: int
+    bytes_read: int
+    bytes_written: int
+    reads: tuple[FieldRef, ...]
+    writes: tuple[FieldRef, ...]
+    atomic_bytes: int = 0
+    tag: str = ""
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+
+class Runtime:
+    """Immediate-mode executor with full launch tracing.
+
+    ``launch`` runs ``fn`` (if given) and appends a :class:`KernelRecord`.
+    ``step_marker`` tags coarse-timestep boundaries so benchmarks can cut
+    the trace per step.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[KernelRecord] = []
+        self.markers: list[int] = []
+
+    def launch(self, name: str, level: int, *, n_cells: int,
+               bytes_read: int, bytes_written: int,
+               reads: tuple[FieldRef, ...] = (), writes: tuple[FieldRef, ...] = (),
+               atomic_bytes: int = 0, tag: str = "", fn=None) -> None:
+        if fn is not None:
+            fn()
+        self.records.append(KernelRecord(
+            name=name, level=level, n_cells=int(n_cells),
+            bytes_read=int(bytes_read), bytes_written=int(bytes_written),
+            reads=tuple(reads), writes=tuple(writes),
+            atomic_bytes=int(atomic_bytes), tag=tag))
+
+    def step_marker(self) -> None:
+        """Mark the end of one coarse time step in the trace."""
+        self.markers.append(len(self.records))
+
+    def reset(self) -> None:
+        self.records.clear()
+        self.markers.clear()
+
+    # -- trace queries -------------------------------------------------------
+    def last_step(self) -> list[KernelRecord]:
+        """Records of the most recent complete coarse step."""
+        if not self.markers:
+            return list(self.records)
+        start = self.markers[-2] if len(self.markers) >= 2 else 0
+        return self.records[start:self.markers[-1]]
+
+    def launches(self) -> int:
+        return len(self.records)
+
+    def total_bytes(self) -> int:
+        return sum(r.bytes_total for r in self.records)
+
+    def summary_by_name(self) -> dict[str, dict[str, int]]:
+        """Aggregate launches / cells / bytes per kernel name."""
+        out: dict[str, dict[str, int]] = {}
+        for r in self.records:
+            agg = out.setdefault(r.name, {"launches": 0, "cells": 0, "bytes": 0})
+            agg["launches"] += 1
+            agg["cells"] += r.n_cells
+            agg["bytes"] += r.bytes_total
+        return out

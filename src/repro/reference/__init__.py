@@ -1,0 +1,5 @@
+"""Independent reference implementations used for cross-validation."""
+
+from .dense import DenseLBM
+
+__all__ = ["DenseLBM"]

@@ -1,0 +1,13 @@
+"""Validation data and metrics: Ghia cavity profiles, analytic flows, norms."""
+
+from .analytic import (couette_profile, poiseuille_profile, taylor_green_2d,
+                       taylor_green_decay_rate)
+from .ghia import GHIA_RE100_U, GHIA_RE100_V, centered, profiles
+from .metrics import interp_profile, l2_error, linf_error, relative_l2
+
+__all__ = [
+    "couette_profile", "poiseuille_profile", "taylor_green_2d",
+    "taylor_green_decay_rate",
+    "GHIA_RE100_U", "GHIA_RE100_V", "centered", "profiles",
+    "interp_profile", "l2_error", "linf_error", "relative_l2",
+]

@@ -1,0 +1,68 @@
+"""Reference lid-driven cavity profiles of Ghia, Ghia & Shin (1982).
+
+The paper validates its implementation against these profiles (Fig. 7):
+normalized velocity components sampled along the two centerlines of the
+cavity.  Coordinates are normalized to the cavity edge; the origin used
+by the tables below is the *lower-left corner* (the paper's figure shifts
+the origin to the box centre — use :func:`centered` for that convention).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GHIA_RE100_U", "GHIA_RE100_V", "GHIA_RE400_U", "GHIA_RE400_V",
+           "profiles", "centered"]
+
+# u/u_lid along the vertical centerline (x = 0.5): columns (y, u).
+GHIA_RE100_U = np.array([
+    [0.0000, 0.00000], [0.0547, -0.03717], [0.0625, -0.04192], [0.0703, -0.04775],
+    [0.1016, -0.06434], [0.1719, -0.10150], [0.2813, -0.15662], [0.4531, -0.21090],
+    [0.5000, -0.20581], [0.6172, -0.13641], [0.7344, 0.00332], [0.8516, 0.23151],
+    [0.9531, 0.68717], [0.9609, 0.73722], [0.9688, 0.78871], [0.9766, 0.84123],
+    [1.0000, 1.00000],
+])
+
+# v/u_lid along the horizontal centerline (y = 0.5): columns (x, v).
+GHIA_RE100_V = np.array([
+    [0.0000, 0.00000], [0.0625, 0.09233], [0.0703, 0.10091], [0.0781, 0.10890],
+    [0.0938, 0.12317], [0.1563, 0.16077], [0.2266, 0.17507], [0.2344, 0.17527],
+    [0.5000, 0.05454], [0.8047, -0.24533], [0.8594, -0.22445], [0.9063, -0.16914],
+    [0.9453, -0.10313], [0.9531, -0.08864], [0.9609, -0.07391], [0.9688, -0.05906],
+    [1.0000, 0.00000],
+])
+
+GHIA_RE400_U = np.array([
+    [0.0000, 0.00000], [0.0547, -0.08186], [0.0625, -0.09266], [0.0703, -0.10338],
+    [0.1016, -0.14612], [0.1719, -0.24299], [0.2813, -0.32726], [0.4531, -0.17119],
+    [0.5000, -0.11477], [0.6172, 0.02135], [0.7344, 0.16256], [0.8516, 0.29093],
+    [0.9531, 0.55892], [0.9609, 0.61756], [0.9688, 0.68439], [0.9766, 0.75837],
+    [1.0000, 1.00000],
+])
+
+GHIA_RE400_V = np.array([
+    [0.0000, 0.00000], [0.0625, 0.18360], [0.0703, 0.19713], [0.0781, 0.20920],
+    [0.0938, 0.22965], [0.1563, 0.28124], [0.2266, 0.30203], [0.2344, 0.30174],
+    [0.5000, 0.05186], [0.8047, -0.38598], [0.8594, -0.44993], [0.9063, -0.23827],
+    [0.9453, -0.22847], [0.9531, -0.19254], [0.9609, -0.15663], [0.9688, -0.12146],
+    [1.0000, 0.00000],
+])
+
+_TABLES = {
+    100: (GHIA_RE100_U, GHIA_RE100_V),
+    400: (GHIA_RE400_U, GHIA_RE400_V),
+}
+
+
+def profiles(reynolds: int) -> tuple[np.ndarray, np.ndarray]:
+    """(u-profile, v-profile) tables for a tabulated Reynolds number."""
+    if reynolds not in _TABLES:
+        raise KeyError(f"no Ghia table for Re={reynolds}; available: {sorted(_TABLES)}")
+    return _TABLES[reynolds]
+
+
+def centered(table: np.ndarray) -> np.ndarray:
+    """Shift the coordinate column to the paper's box-centre origin."""
+    out = table.copy()
+    out[:, 0] -= 0.5
+    return out

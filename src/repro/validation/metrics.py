@@ -1,0 +1,32 @@
+"""Error norms and comparison helpers for validation experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["l2_error", "linf_error", "relative_l2", "interp_profile"]
+
+
+def l2_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Root-mean-square difference."""
+    a, b = np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def linf_error(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.max(np.abs(np.asarray(a) - np.asarray(b))))
+
+
+def relative_l2(a: np.ndarray, ref: np.ndarray) -> float:
+    """||a - ref||_2 / ||ref||_2."""
+    ref = np.asarray(ref, dtype=np.float64)
+    denom = float(np.linalg.norm(ref))
+    if denom == 0.0:
+        raise ValueError("reference norm is zero")
+    return float(np.linalg.norm(np.asarray(a) - ref)) / denom
+
+
+def interp_profile(x_ref: np.ndarray, x: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Linear interpolation of a simulated profile onto reference abscissae."""
+    order = np.argsort(x)
+    return np.interp(x_ref, np.asarray(x)[order], np.asarray(values)[order])

@@ -1,0 +1,81 @@
+"""Activity bitmask packing (paper Section V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.grid.bitmask import pack_bits, popcount, unpack_bits, words_per_block
+from repro.grid.bitmask import test_bits as query_bits
+
+RNG = np.random.default_rng(3)
+
+
+class TestWordsPerBlock:
+    def test_exact_word(self):
+        assert words_per_block(64) == 1
+
+    def test_rounding(self):
+        assert words_per_block(1) == 1
+        assert words_per_block(65) == 2
+        assert words_per_block(128) == 2
+        assert words_per_block(129) == 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            words_per_block(0)
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("ncell", [1, 8, 27, 64, 125, 216])
+    def test_roundtrip(self, ncell):
+        flags = RNG.random((10, ncell)) < 0.4
+        assert np.array_equal(unpack_bits(pack_bits(flags), ncell), flags)
+
+    def test_b4_cube_is_single_word(self):
+        flags = RNG.random((5, 64)) < 0.5
+        assert pack_bits(flags).shape == (5, 1)
+
+    def test_all_set(self):
+        flags = np.ones((3, 64), dtype=bool)
+        words = pack_bits(flags)
+        assert (words == np.uint64(0xFFFFFFFFFFFFFFFF)).all()
+
+    def test_none_set(self):
+        words = pack_bits(np.zeros((3, 27), dtype=bool))
+        assert (words == 0).all()
+
+    def test_bit_order_is_local_index(self):
+        flags = np.zeros((1, 64), dtype=bool)
+        flags[0, 5] = True
+        assert pack_bits(flags)[0, 0] == np.uint64(1) << np.uint64(5)
+
+    def test_shape_errors(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.zeros(64, dtype=bool))
+        with pytest.raises(ValueError):
+            unpack_bits(np.zeros(2, dtype=np.uint64), 64)
+
+
+class TestPopcount:
+    def test_matches_sum(self):
+        flags = RNG.random((20, 64)) < 0.3
+        assert np.array_equal(popcount(pack_bits(flags)), flags.sum(axis=1))
+
+    def test_multiword(self):
+        flags = RNG.random((7, 216)) < 0.6
+        assert np.array_equal(popcount(pack_bits(flags)), flags.sum(axis=1))
+
+
+class TestTestBits:
+    def test_vectorised_query(self):
+        flags = RNG.random((6, 64)) < 0.5
+        words = pack_bits(flags)
+        blocks = RNG.integers(0, 6, 100)
+        locals_ = RNG.integers(0, 64, 100)
+        assert np.array_equal(query_bits(words, blocks, locals_), flags[blocks, locals_])
+
+    def test_multiword_query(self):
+        flags = RNG.random((4, 216)) < 0.5
+        words = pack_bits(flags)
+        blocks = RNG.integers(0, 4, 50)
+        locals_ = RNG.integers(0, 216, 50)
+        assert np.array_equal(query_bits(words, blocks, locals_), flags[blocks, locals_])

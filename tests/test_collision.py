@@ -1,0 +1,205 @@
+"""BGK and KBC collision operators (paper Eqs. 3-8 and Section II)."""
+
+import numpy as np
+import pytest
+
+from repro.core.collision import (BGK, KBC, density, equilibrium, macroscopics,
+                                  make_collision, pressure, velocity)
+from repro.core.lattice import CS2, D2Q9, D3Q19, D3Q27
+
+RNG = np.random.default_rng(42)
+
+
+def random_state(lat, n=64, amp=0.02):
+    """A physically plausible random population set (near equilibrium)."""
+    rho = 1.0 + amp * RNG.standard_normal(n)
+    u = amp * RNG.standard_normal((lat.d, n))
+    feq = equilibrium(lat, rho, u)
+    noise = 0.02 * amp * RNG.standard_normal(feq.shape) * feq
+    return feq + noise
+
+
+@pytest.mark.parametrize("lat", [D2Q9, D3Q19, D3Q27], ids=lambda l: l.name)
+class TestEquilibrium:
+    def test_zeroth_moment(self, lat):
+        rho = 1.0 + 0.05 * RNG.standard_normal(50)
+        u = 0.03 * RNG.standard_normal((lat.d, 50))
+        feq = equilibrium(lat, rho, u)
+        assert np.allclose(feq.sum(axis=0), rho, rtol=1e-13)
+
+    def test_first_moment(self, lat):
+        rho = 1.0 + 0.05 * RNG.standard_normal(50)
+        u = 0.03 * RNG.standard_normal((lat.d, 50))
+        feq = equilibrium(lat, rho, u)
+        mom = lat.ef.T @ feq
+        assert np.allclose(mom, rho * u, atol=1e-13)
+
+    def test_second_moment(self, lat):
+        # Pi_eq = rho (c_s^2 I + u u) — exact for the quadratic equilibrium
+        rho = np.array([1.1])
+        u = 0.04 * np.ones((lat.d, 1))
+        feq = equilibrium(lat, rho, u)
+        pi = np.einsum("qa,qb,qn->ab", lat.ef, lat.ef, feq)
+        expected = rho[0] * (CS2 * np.eye(lat.d) + np.outer(u[:, 0], u[:, 0]))
+        assert np.allclose(pi, expected, atol=1e-12)
+
+    def test_rest_equilibrium_is_weights(self, lat):
+        feq = equilibrium(lat, np.ones(3), np.zeros((lat.d, 3)))
+        assert np.allclose(feq, lat.w[:, None])
+
+    def test_out_parameter(self, lat):
+        rho = np.ones(10)
+        u = 0.01 * np.ones((lat.d, 10))
+        buf = np.empty((lat.q, 10))
+        res = equilibrium(lat, rho, u, out=buf)
+        assert res is buf
+        assert np.allclose(buf, equilibrium(lat, rho, u))
+
+    def test_positive_at_moderate_velocity(self, lat):
+        u = np.full((lat.d, 1), 0.1 / np.sqrt(lat.d))
+        feq = equilibrium(lat, np.ones(1), u)
+        assert (feq > 0).all()
+
+
+@pytest.mark.parametrize("lat", [D2Q9, D3Q19, D3Q27], ids=lambda l: l.name)
+class TestMacroscopics:
+    def test_density_velocity(self, lat):
+        f = random_state(lat)
+        rho, u = macroscopics(lat, f)
+        assert np.allclose(rho, f.sum(axis=0))
+        assert np.allclose(u * rho, lat.ef.T @ f)
+
+    def test_pressure_is_cs2_rho(self, lat):
+        f = random_state(lat)
+        assert np.allclose(pressure(lat, f), CS2 * density(lat, f))
+
+    def test_velocity_with_precomputed_rho(self, lat):
+        f = random_state(lat)
+        rho = density(lat, f)
+        assert np.allclose(velocity(lat, f), velocity(lat, f, rho))
+
+
+@pytest.mark.parametrize("lat", [D2Q9, D3Q19, D3Q27], ids=lambda l: l.name)
+@pytest.mark.parametrize("model", ["bgk", "kbc"])
+class TestCollisionCommon:
+    def make(self, model, lat):
+        if model == "kbc" and lat is D3Q19:
+            pytest.skip("KBC requires D3Q27 in 3D (paper Section II)")
+        return make_collision(model, lat)
+
+    def test_conserves_density(self, model, lat):
+        op = self.make(model, lat)
+        f = random_state(lat)
+        out = op.collide(f, 1.3)
+        assert np.allclose(out.sum(axis=0), f.sum(axis=0), rtol=1e-12)
+
+    def test_conserves_momentum(self, model, lat):
+        op = self.make(model, lat)
+        f = random_state(lat)
+        out = op.collide(f, 1.3)
+        assert np.allclose(lat.ef.T @ out, lat.ef.T @ f, atol=1e-13)
+
+    def test_equilibrium_fixed_point(self, model, lat):
+        op = self.make(model, lat)
+        rho = 1.0 + 0.02 * RNG.standard_normal(20)
+        u = 0.02 * RNG.standard_normal((lat.d, 20))
+        feq = equilibrium(lat, rho, u)
+        out = op.collide(feq, 1.7)
+        assert np.allclose(out, feq, atol=1e-12)
+
+    def test_drives_toward_equilibrium(self, model, lat):
+        op = self.make(model, lat)
+        f = random_state(lat, amp=0.05)
+        rho, u = macroscopics(lat, f)
+        feq = equilibrium(lat, rho, u)
+        out = op.collide(f, 1.0)
+        assert np.linalg.norm(out - feq) < np.linalg.norm(f - feq)
+
+
+class TestBGK:
+    def test_omega_one_projects_to_equilibrium(self):
+        lat = D3Q19
+        f = random_state(lat)
+        rho, u = macroscopics(lat, f)
+        out = BGK(lat).collide(f, 1.0)
+        assert np.allclose(out, equilibrium(lat, rho, u), atol=1e-13)
+
+    def test_explicit_relaxation_formula(self):
+        lat = D2Q9
+        f = random_state(lat)
+        rho, u = macroscopics(lat, f)
+        feq = equilibrium(lat, rho, u)
+        omega = 1.4
+        out = BGK(lat).collide(f, omega)
+        assert np.allclose(out, f - omega * (f - feq), atol=1e-13)
+
+    def test_out_buffer(self):
+        lat = D2Q9
+        f = random_state(lat)
+        buf = np.empty_like(f)
+        res = BGK(lat).collide(f, 1.2, out=buf)
+        assert res is buf
+
+
+class TestKBC:
+    def test_requires_d3q27_in_3d(self):
+        with pytest.raises(ValueError):
+            KBC(D3Q19)
+
+    def test_shear_part_is_traceless_in_moments(self):
+        # The shear decomposition conserves mass and momentum by itself.
+        lat = D3Q27
+        op = KBC(lat)
+        f = random_state(lat)
+        rho, u = macroscopics(lat, f)
+        fneq = f - equilibrium(lat, rho, u)
+        ds = op._delta_s(fneq)
+        assert np.allclose(ds.sum(axis=0), 0.0, atol=1e-13)
+        assert np.allclose(lat.ef.T @ ds, 0.0, atol=1e-13)
+
+    def test_shear_part_carries_offdiagonal_stress(self):
+        lat = D3Q27
+        op = KBC(lat)
+        f = random_state(lat, amp=0.05)
+        rho, u = macroscopics(lat, f)
+        fneq = f - equilibrium(lat, rho, u)
+        ds = op._delta_s(fneq)
+        pi_f = np.einsum("qa,qb,qn->abn", lat.ef, lat.ef, fneq)
+        pi_s = np.einsum("qa,qb,qn->abn", lat.ef, lat.ef, ds)
+        assert np.allclose(pi_s[0, 1], pi_f[0, 1], atol=1e-12)
+        assert np.allclose(pi_s[0, 2], pi_f[0, 2], atol=1e-12)
+        assert np.allclose(pi_s[1, 2], pi_f[1, 2], atol=1e-12)
+
+    def test_reduces_to_bgk_when_gamma_two(self):
+        # With gamma = 2 the KBC update is exactly BGK; at equilibrium the
+        # stabiliser is irrelevant, slightly off equilibrium it stays ~2.
+        lat = D3Q27
+        rho = np.ones(8)
+        u = 0.01 * RNG.standard_normal((3, 8))
+        feq = equilibrium(lat, rho, u)
+        out_kbc = KBC(lat).collide(feq, 1.5)
+        out_bgk = BGK(lat).collide(feq, 1.5)
+        assert np.allclose(out_kbc, out_bgk, atol=1e-12)
+
+    def test_2d_variant_runs(self):
+        lat = D2Q9
+        f = random_state(lat)
+        out = KBC(lat).collide(f, 1.5)
+        assert np.allclose(out.sum(axis=0), f.sum(axis=0), rtol=1e-12)
+
+    def test_high_omega_stability(self):
+        # KBC's raison d'etre: stable where BGK would need omega ~ 2.
+        lat = D3Q27
+        f = random_state(lat, amp=0.08)
+        out = KBC(lat).collide(f, 1.995)
+        assert np.isfinite(out).all()
+
+
+def test_make_collision_errors():
+    with pytest.raises(KeyError):
+        make_collision("mrt", D2Q9)
+
+
+def test_make_collision_names():
+    assert make_collision("bgk", D2Q9).name == "BGK"
+    assert make_collision("kbc", D3Q27).name == "KBC"

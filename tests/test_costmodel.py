@@ -1,0 +1,128 @@
+"""Roofline cost model and device specs."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.costmodel import cost_trace, kernel_time_us, predicted_mlups
+from repro.gpu.device import (A100_40GB, CPU_XEON_32C, DeviceSpec, get_device)
+from repro.neon.runtime import FieldRef, KernelRecord
+
+
+def rec(name="C", level=0, n_cells=1_000_000, br=None, bw=None, atomic=0):
+    q = 19
+    br = q * 8 * n_cells if br is None else br
+    bw = q * 8 * n_cells if bw is None else bw
+    return KernelRecord(name=name, level=level, n_cells=n_cells,
+                        bytes_read=br, bytes_written=bw, reads=(), writes=(),
+                        atomic_bytes=atomic)
+
+
+class TestDevice:
+    def test_registry(self):
+        assert get_device("A100-40GB") is A100_40GB
+        with pytest.raises(KeyError):
+            get_device("H100")
+
+    def test_effective_bandwidth_units(self):
+        # bytes per microsecond = GB/s * 1e3 * fraction
+        d = DeviceSpec("x", 1000.0, 1.0, sustained_fraction=0.5)
+        assert d.effective_bandwidth == pytest.approx(0.5e6)
+
+    def test_capacity(self):
+        assert A100_40GB.capacity_bytes == 40_000_000_000
+
+
+class TestKernelTime:
+    def test_memory_bound_scaling(self):
+        t1 = kernel_time_us(rec(n_cells=1_000_000), A100_40GB).time_us
+        t2 = kernel_time_us(rec(n_cells=2_000_000), A100_40GB).time_us
+        assert t2 > 1.8 * (t1 - A100_40GB.launch_overhead_us)
+
+    def test_launch_overhead_included(self):
+        t = kernel_time_us(rec(n_cells=1, br=8, bw=8), A100_40GB)
+        assert t.time_us == pytest.approx(A100_40GB.launch_overhead_us, rel=0.01)
+
+    def test_launch_can_be_excluded(self):
+        t = kernel_time_us(rec(), A100_40GB, include_launch=False)
+        assert t.time_us == pytest.approx(max(t.mem_us, t.flop_us))
+
+    def test_atomic_penalty(self):
+        plain = kernel_time_us(rec(name="A"), A100_40GB).time_us
+        atomic = kernel_time_us(rec(name="A", atomic=19 * 8 * 1_000_000),
+                                A100_40GB).time_us
+        assert atomic > plain
+
+    def test_kbc_raises_flop_cost_of_collision_only(self):
+        c_bgk = kernel_time_us(rec("C"), A100_40GB, kbc=False)
+        c_kbc = kernel_time_us(rec("C"), A100_40GB, kbc=True)
+        s_bgk = kernel_time_us(rec("S"), A100_40GB, kbc=False)
+        s_kbc = kernel_time_us(rec("S"), A100_40GB, kbc=True)
+        assert c_kbc.flop_us > c_bgk.flop_us
+        assert s_kbc.flop_us == s_bgk.flop_us
+
+    def test_memory_bound_regime(self):
+        # at A100 ratios, LBM kernels sit on the memory roof
+        t = kernel_time_us(rec("C"), A100_40GB)
+        assert t.mem_us > t.flop_us
+
+    def test_cpu_slower_than_gpu(self):
+        tg = kernel_time_us(rec(), A100_40GB).time_us
+        tc = kernel_time_us(rec(), CPU_XEON_32C).time_us
+        assert tc > 5 * tg
+
+
+class TestCostTrace:
+    def test_serial_charges_sync_per_kernel(self):
+        records = [rec("C"), rec("S")]
+        c = cost_trace(records, A100_40GB, concurrent=False)
+        expected = 2 * (A100_40GB.launch_overhead_us + A100_40GB.sync_overhead_us)
+        assert c.launch_us == pytest.approx(expected)
+
+    def test_concurrent_charges_sync_per_wave(self):
+        f, fs = FieldRef("f", 0), FieldRef("fstar", 0)
+        dep = [
+            KernelRecord("C", 0, 100, 80, 80, reads=(f,), writes=(fs,)),
+            KernelRecord("C", 1, 100, 80, 80, reads=(FieldRef("f", 1),),
+                         writes=(FieldRef("fstar", 1),)),
+            KernelRecord("S", 0, 100, 80, 80, reads=(fs,), writes=(f,)),
+        ]
+        c = cost_trace(dep, A100_40GB, concurrent=True)
+        expected = (3 * A100_40GB.launch_overhead_us
+                    + 2 * A100_40GB.sync_overhead_us)  # two waves
+        assert c.launch_us == pytest.approx(expected)
+
+    def test_concurrent_never_slower(self):
+        records = [rec("C"), rec("S"), rec("O")]
+        serial = cost_trace(records, A100_40GB, concurrent=False).total_us
+        conc = cost_trace(records, A100_40GB, concurrent=True).total_us
+        assert conc <= serial
+
+    def test_totals(self):
+        records = [rec("C"), rec("S")]
+        c = cost_trace(records, A100_40GB)
+        assert c.kernels == 2
+        assert c.bytes_total == sum(r.bytes_total for r in records)
+        assert c.total_us == pytest.approx(c.launch_us + c.mem_us)
+
+    def test_per_step(self):
+        c = cost_trace([rec()] * 10, A100_40GB)
+        assert c.per_step(5) == pytest.approx(c.total_us / 5)
+
+
+class TestPredictedMlups:
+    def test_formula(self):
+        # MLUPS = sum V_L 2^L N / T(us)
+        trace = cost_trace([rec(n_cells=1)], A100_40GB)
+        active = [1000, 2000]
+        n = 7
+        expected = (1000 * 1 + 2000 * 2) * n / trace.total_us
+        assert predicted_mlups(active, n, trace) == pytest.approx(expected)
+
+    def test_roofline_sanity_uniform_d3q19(self):
+        # A perfectly fused uniform D3Q19 double-precision kernel moves
+        # 2*19*8 = 304 B per update; the model should land in the
+        # low-thousands MLUPS on an A100 (paper quotes >2000 for uniform).
+        n = 50_000_000
+        trace = cost_trace([rec("CASE", n_cells=n)], A100_40GB)
+        m = predicted_mlups([n], 1, trace)
+        assert 2000 < m < 5000

@@ -1,0 +1,177 @@
+"""Free-slip boundaries, obstacle forces and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import (drag_coefficient, enstrophy_2d, kinetic_energy,
+                                    solid_force)
+from repro.core.simulation import Simulation
+from repro.grid import kinds
+from repro.grid.geometry import Sphere, shell_refinement, voxelize
+from repro.grid.multigrid import DomainBC, FaceBC, RefinementSpec, build_multigrid
+from repro.io.checkpoint import restore_checkpoint, save_checkpoint
+
+
+def sphere_spec(radius=1.6):
+    sphere = Sphere((6.0, 5.0, 5.0), radius)
+    base = (14, 10, 10)
+    regions = shell_refinement(sphere, base, 2, [3.2])
+    solid = voxelize(sphere, (28, 20, 20), 1)
+    bc = DomainBC({"x-": FaceBC("inlet", velocity=(0.05, 0.0, 0.0)),
+                   "x+": FaceBC("outflow")})
+    return RefinementSpec(base, regions, solid=solid, bc=bc), sphere
+
+
+class TestSlipBoundary:
+    def channel(self, top_kind):
+        bc = DomainBC({"x-": FaceBC("periodic"), "x+": FaceBC("periodic"),
+                       "y-": FaceBC(top_kind) if top_kind == "slip" else FaceBC("wall"),
+                       "y+": FaceBC(top_kind)})
+        spec = RefinementSpec((12, 12), bc=bc)
+        sim = Simulation(spec, "D2Q9", "bgk", viscosity=0.1)
+        return sim
+
+    def test_classification_contains_slip(self):
+        sim = self.channel("slip")
+        lv = sim.engine.mgrid.levels[0]
+        assert lv.sl_q.size > 0
+        assert (lv.kind == kinds.SLIP).any()
+
+    def test_plug_flow_preserved_exactly(self):
+        # free-slip walls exert no tangential stress: a uniform stream
+        # through a slip channel must persist to machine precision
+        bc = DomainBC({"x-": FaceBC("periodic"), "x+": FaceBC("periodic"),
+                       "y-": FaceBC("slip"), "y+": FaceBC("slip")})
+        spec = RefinementSpec((12, 12), bc=bc)
+        sim = Simulation(spec, "D2Q9", "bgk", viscosity=0.1)
+        sim.initialize(u=np.array([0.04, 0.0]))
+        sim.run(20)
+        _, u = sim.macroscopics(0)
+        assert np.abs(u[0] - 0.04).max() < 1e-13
+        assert np.abs(u[1]).max() < 1e-13
+
+    def test_noslip_decays_plug_flow(self):
+        sim = self.channel("wall")
+        sim.initialize(u=np.array([0.04, 0.0]))
+        sim.run(20)
+        _, u = sim.macroscopics(0)
+        assert u[0].min() < 0.035  # boundary layer developed
+
+    def test_slip_conserves_mass(self):
+        sim = self.channel("slip")
+        sim.initialize(u=np.array([0.03, 0.01]))
+        m0 = sim.engine.total_mass()
+        sim.run(30)
+        assert sim.engine.total_mass() == pytest.approx(m0, rel=1e-12)
+
+    def test_slip_reflects_normal_momentum(self):
+        # normal velocity flips at the plane: a vertical stream in a
+        # slip-walled closed box keeps |u| but reverses u_y over time
+        bc = DomainBC({"y-": FaceBC("slip"), "y+": FaceBC("slip"),
+                       "x-": FaceBC("periodic"), "x+": FaceBC("periodic")})
+        spec = RefinementSpec((8, 8), bc=bc)
+        sim = Simulation(spec, "D2Q9", "bgk", viscosity=0.2)
+        sim.initialize(u=np.array([0.0, 0.03]))
+        sim.run(60)
+        assert sim.is_stable()
+        _, u = sim.macroscopics(0)
+        assert np.abs(u[1]).max() < 0.03 + 1e-12
+
+
+class TestSolidForce:
+    def test_zero_without_solid(self):
+        spec = RefinementSpec((8, 8, 8))
+        sim = Simulation(spec, "D3Q19", "bgk", viscosity=0.05)
+        sim.run(2)
+        assert np.allclose(solid_force(sim.engine), 0.0)
+
+    def test_zero_in_still_fluid(self):
+        spec, _ = sphere_spec()
+        bc_still = DomainBC()  # all resting walls
+        spec_still = RefinementSpec(spec.base_shape, spec.refine_regions,
+                                    solid=spec.solid, bc=bc_still)
+        sim = Simulation(spec_still, "D3Q19", "bgk", viscosity=0.05)
+        sim.run(3)
+        assert np.abs(solid_force(sim.engine)).max() < 1e-12
+
+    def test_drag_points_downstream(self):
+        spec, sphere = sphere_spec()
+        sim = Simulation(spec, "D3Q19", "bgk", viscosity=0.02)
+        sim.run(40)
+        fx, fy, fz = solid_force(sim.engine)
+        assert fx > 0.0                      # drag along the inlet flow
+        assert abs(fy) < 0.3 * fx            # lateral symmetry
+        assert abs(fz) < 0.3 * fx
+
+    def test_drag_coefficient_plausible(self):
+        spec, sphere = sphere_spec()
+        sim = Simulation(spec, "D3Q19", "bgk", viscosity=0.02)
+        sim.run(60)
+        fx = solid_force(sim.engine)[0]
+        area = np.pi * (2 * sphere.radius) ** 2  # frontal area, fine units R*2
+        cd = drag_coefficient(fx, 1.0, 0.05, area)
+        assert 0.1 < cd < 30.0  # moderate-Re sphere: O(1-10)
+
+    def test_drag_coefficient_validation(self):
+        with pytest.raises(ValueError):
+            drag_coefficient(1.0, 1.0, 0.0, 1.0)
+
+
+class TestEnergyDiagnostics:
+    def test_kinetic_energy_of_uniform_flow(self):
+        spec = RefinementSpec((8, 8))
+        sim = Simulation(spec, "D2Q9", "bgk", viscosity=0.1)
+        sim.initialize(u=np.array([0.02, 0.0]))
+        e = kinetic_energy(sim.engine)
+        assert e == pytest.approx(0.5 * 64 * 0.02 ** 2, rel=1e-3)
+
+    def test_enstrophy_positive_for_shear(self):
+        bc = DomainBC({"y+": FaceBC("moving", velocity=(0.05, 0.0))})
+        spec = RefinementSpec((12, 12), bc=bc)
+        sim = Simulation(spec, "D2Q9", "bgk", viscosity=0.1)
+        sim.run(30)
+        assert enstrophy_2d(sim) > 0.0
+
+    def test_enstrophy_needs_2d(self):
+        spec = RefinementSpec((6, 6, 6))
+        sim = Simulation(spec, "D3Q19", "bgk", viscosity=0.1)
+        with pytest.raises(ValueError):
+            enstrophy_2d(sim)
+
+
+class TestCheckpoint:
+    def make(self):
+        spec, _ = sphere_spec()
+        return Simulation(spec, "D3Q19", "bgk", viscosity=0.03)
+
+    def test_bitwise_resume(self, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        a = self.make()
+        a.run(4)
+        save_checkpoint(a, path)
+        a.run(3)
+
+        b = self.make()
+        restore_checkpoint(b, path)
+        assert b.steps_done == 4
+        b.run(3)
+        for la, lb in zip(a.engine.levels, b.engine.levels):
+            assert np.array_equal(la.f, lb.f)
+
+    def test_structural_validation(self, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        a = self.make()
+        save_checkpoint(a, path)
+        other = Simulation(RefinementSpec((8, 8, 8)), "D3Q19", "bgk",
+                           viscosity=0.03)
+        with pytest.raises(ValueError):
+            restore_checkpoint(other, path)
+
+    def test_lattice_validation(self, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        spec = RefinementSpec((8, 8, 8))
+        a = Simulation(spec, "D3Q19", "bgk", viscosity=0.03)
+        save_checkpoint(a, path)
+        b = Simulation(spec, "D3Q27", "bgk", viscosity=0.03)
+        with pytest.raises(ValueError, match="lattice"):
+            restore_checkpoint(b, path)

@@ -1,0 +1,148 @@
+"""Implicit geometry, voxelisation and refinement-region builders."""
+
+import numpy as np
+import pytest
+
+from repro.grid.geometry import (AirplaneProxy, Box, Ellipsoid, Sphere, Union,
+                                 cell_centers, distance_field,
+                                 enforce_shell_separation, shell_refinement,
+                                 voxelize, wall_refinement)
+
+
+class TestSphere:
+    def test_sign(self):
+        s = Sphere((0.0, 0.0, 0.0), 2.0)
+        assert s.sdf(np.array([[0.0, 0.0, 0.0]]))[0] == pytest.approx(-2.0)
+        assert s.sdf(np.array([[3.0, 0.0, 0.0]]))[0] == pytest.approx(1.0)
+
+    def test_voxel_volume(self):
+        s = Sphere((8.0, 8.0, 8.0), 5.0)
+        mask = voxelize(s, (16, 16, 16), level=0)
+        expected = 4.0 / 3.0 * np.pi * 5.0 ** 3
+        assert mask.sum() == pytest.approx(expected, rel=0.08)
+
+    def test_finer_voxelization_converges(self):
+        s = Sphere((4.0, 4.0, 4.0), 2.5)
+        exact = 4.0 / 3.0 * np.pi * 2.5 ** 3
+        err = []
+        for lvl in (0, 1, 2):
+            mask = voxelize(s, tuple(8 * 2 ** lvl for _ in range(3)), level=lvl)
+            vol = mask.sum() * (0.5 ** lvl) ** 3
+            err.append(abs(vol - exact) / exact)
+        assert err[2] < err[0]
+
+
+class TestBox:
+    def test_inside_outside(self):
+        b = Box((0.0, 0.0), (2.0, 4.0))
+        assert b.contains(np.array([[1.0, 2.0]]))[0]
+        assert not b.contains(np.array([[3.0, 2.0]]))[0]
+
+    def test_distance_outside_is_euclidean(self):
+        b = Box((0.0, 0.0), (2.0, 2.0))
+        d = b.sdf(np.array([[5.0, 1.0]]))[0]
+        assert d == pytest.approx(3.0)
+
+    def test_corner_distance(self):
+        b = Box((0.0, 0.0), (2.0, 2.0))
+        d = b.sdf(np.array([[3.0, 3.0]]))[0]
+        assert d == pytest.approx(np.sqrt(2.0))
+
+
+class TestEllipsoidUnion:
+    def test_ellipsoid_sign(self):
+        e = Ellipsoid((0.0, 0.0, 0.0), (4.0, 2.0, 1.0))
+        assert e.contains(np.array([[3.0, 0.0, 0.0]]))[0]
+        assert not e.contains(np.array([[0.0, 3.0, 0.0]]))[0]
+
+    def test_union_is_min(self):
+        a, b = Sphere((0.0, 0.0), 1.0), Sphere((5.0, 0.0), 1.0)
+        u = a | b
+        assert isinstance(u, Union)
+        pts = np.array([[0.0, 0.0], [5.0, 0.0], [2.5, 0.0]])
+        assert np.allclose(u.sdf(pts), np.minimum(a.sdf(pts), b.sdf(pts)))
+
+
+class TestAirplaneProxy:
+    def test_has_volume_and_is_slender(self):
+        base = (40, 21, 21)
+        plane = AirplaneProxy((20.0, 10.5, 10.5), 18.0)
+        mask = voxelize(plane, base, level=0)
+        frac = mask.sum() / mask.size
+        assert 0.001 < frac < 0.15  # present but much smaller than the tunnel
+
+    def test_wingspan_exceeds_body_width(self):
+        plane = AirplaneProxy((0.0, 0.0, 0.0), 10.0)
+        wing_tip = np.array([[0.0, 3.5, 0.0]])
+        above_body = np.array([[0.0, 0.0, 3.5]])
+        assert plane.contains(wing_tip)[0]
+        assert not plane.contains(above_body)[0]
+
+
+class TestCellCenters:
+    def test_level0(self):
+        c = cell_centers((2, 2), 0)
+        assert c[0, 0].tolist() == [0.5, 0.5]
+        assert c[1, 1].tolist() == [1.5, 1.5]
+
+    def test_level1_halves_spacing(self):
+        c = cell_centers((2, 2), 1)
+        assert c[0, 0].tolist() == [0.25, 0.25]
+
+    def test_distance_field_shape(self):
+        s = Sphere((1.0, 1.0), 0.5)
+        d = distance_field(s, (4, 4), 1)
+        assert d.shape == (4, 4)
+
+
+class TestShellRefinement:
+    def test_regions_nest(self):
+        s = Sphere((8.0, 8.0), 2.0)
+        regions = shell_refinement(s, (16, 16), 3, [5.0, 2.0])
+        up = np.repeat(np.repeat(regions[0], 2, 0), 2, 1)
+        assert not (regions[1] & ~up).any()
+
+    def test_region_resolutions(self):
+        s = Sphere((8.0, 8.0), 2.0)
+        regions = shell_refinement(s, (16, 16), 3, [5.0, 2.0])
+        assert regions[0].shape == (16, 16)
+        assert regions[1].shape == (32, 32)
+
+    def test_width_validation(self):
+        s = Sphere((8.0, 8.0), 2.0)
+        with pytest.raises(ValueError):
+            shell_refinement(s, (16, 16), 3, [5.0])
+        with pytest.raises(ValueError):
+            shell_refinement(s, (16, 16), 3, [2.0, 5.0])
+
+
+class TestWallRefinement:
+    def test_hugs_all_walls(self):
+        regions = wall_refinement((16, 16), 2, [3.0])
+        r = regions[0]
+        assert r[0, 8] and r[15, 8] and r[8, 0] and r[8, 15]
+        assert not r[8, 8]
+
+    def test_nesting(self):
+        regions = wall_refinement((16, 16, 16), 3, [4.0, 1.5])
+        up = np.repeat(np.repeat(np.repeat(regions[0], 2, 0), 2, 1), 2, 2)
+        assert not (regions[1] & ~up).any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wall_refinement((16, 16), 3, [3.0])
+
+
+class TestEnforceShellSeparation:
+    def test_preserves_generous_widths(self):
+        w = enforce_shell_separation([8.0, 4.0, 2.0])
+        assert w == [8.0, 4.0, 2.0]
+
+    def test_fixes_tight_widths(self):
+        w = enforce_shell_separation([0.5, 0.4])
+        assert w[0] - w[1] >= 2.75 - 1e-12
+        assert w[1] >= 0.75
+
+    def test_output_strictly_decreasing(self):
+        w = enforce_shell_separation([1.0, 1.0, 1.0])
+        assert all(a > b for a, b in zip(w, w[1:]))

@@ -1,0 +1,103 @@
+"""Lattice descriptor invariants (paper Section II)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lattice import CS2, D2Q9, D3Q19, D3Q27, get_lattice
+
+ALL = [D2Q9, D3Q19, D3Q27]
+
+
+@pytest.mark.parametrize("lat", ALL, ids=lambda l: l.name)
+class TestStructure:
+    def test_shapes(self, lat):
+        assert lat.e.shape == (lat.q, lat.d)
+        assert lat.w.shape == (lat.q,)
+        assert lat.opp.shape == (lat.q,)
+
+    def test_rest_velocity_first(self, lat):
+        assert not lat.e[0].any()
+
+    def test_velocities_unique(self, lat):
+        assert len({tuple(v) for v in lat.e.tolist()}) == lat.q
+
+    def test_velocity_set_closed_under_negation(self, lat):
+        vecs = {tuple(v) for v in lat.e.tolist()}
+        for v in vecs:
+            assert tuple(-c for c in v) in vecs
+
+    def test_opposites(self, lat):
+        assert np.array_equal(lat.e[lat.opp], -lat.e)
+
+    def test_opposite_is_involution(self, lat):
+        assert np.array_equal(lat.opp[lat.opp], np.arange(lat.q))
+
+    def test_weights_positive_and_normalized(self, lat):
+        assert (lat.w > 0).all()
+        assert lat.w.sum() == pytest.approx(1.0, abs=1e-14)
+
+    def test_weights_equal_for_opposites(self, lat):
+        assert np.allclose(lat.w[lat.opp], lat.w)
+
+    def test_first_moment_vanishes(self, lat):
+        assert np.allclose(lat.w @ lat.ef, 0.0, atol=1e-15)
+
+    def test_second_moment_isotropy(self, lat):
+        # sum_i w_i e_ia e_ib = c_s^2 delta_ab — the condition behind Eq. (5)
+        m2 = np.einsum("q,qa,qb->ab", lat.w, lat.ef, lat.ef)
+        assert np.allclose(m2, CS2 * np.eye(lat.d), atol=1e-14)
+
+    def test_third_moment_vanishes(self, lat):
+        m3 = np.einsum("q,qa,qb,qc->abc", lat.w, lat.ef, lat.ef, lat.ef)
+        assert np.allclose(m3, 0.0, atol=1e-14)
+
+    def test_fourth_moment_isotropy(self, lat):
+        # sum w e^4 = c_s^4 (d_ab d_cd + d_ac d_bd + d_ad d_bc)
+        m4 = np.einsum("q,qa,qb,qc,qd->abcd", lat.w, lat.ef, lat.ef, lat.ef, lat.ef)
+        eye = np.eye(lat.d)
+        expected = CS2 ** 2 * (np.einsum("ab,cd->abcd", eye, eye)
+                               + np.einsum("ac,bd->abcd", eye, eye)
+                               + np.einsum("ad,bc->abcd", eye, eye))
+        assert np.allclose(m4, expected, atol=1e-14)
+
+    def test_arrays_readonly(self, lat):
+        for arr in (lat.e, lat.w, lat.opp, lat.ef):
+            with pytest.raises(ValueError):
+                arr[0] = 0
+
+    def test_direction_index(self, lat):
+        for i in range(lat.q):
+            assert lat.direction_index(lat.e[i]) == i
+
+    def test_direction_index_missing(self, lat):
+        with pytest.raises(KeyError):
+            lat.direction_index([5] * lat.d)
+
+
+def test_counts():
+    assert (D2Q9.d, D2Q9.q) == (2, 9)
+    assert (D3Q19.d, D3Q19.q) == (3, 19)
+    assert (D3Q27.d, D3Q27.q) == (3, 27)
+
+
+def test_d3q19_excludes_corners():
+    speeds = (D3Q19.e ** 2).sum(axis=1)
+    assert speeds.max() == 2
+
+
+def test_d3q27_includes_corners():
+    speeds = (D3Q27.e ** 2).sum(axis=1)
+    assert (speeds == 3).sum() == 8
+
+
+def test_known_weights():
+    assert D2Q9.w[0] == pytest.approx(4.0 / 9.0)
+    assert D3Q19.w[0] == pytest.approx(1.0 / 3.0)
+    assert D3Q27.w[0] == pytest.approx(8.0 / 27.0)
+
+
+def test_get_lattice():
+    assert get_lattice("d3q19") is D3Q19
+    assert get_lattice("D2Q9") is D2Q9
+    with pytest.raises(KeyError):
+        get_lattice("D3Q15")

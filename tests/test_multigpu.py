@@ -1,0 +1,75 @@
+"""Multi-GPU scaling projection (Section-VII future work)."""
+
+import pytest
+
+from repro.gpu.costmodel import TraceCost
+from repro.gpu.device import A100_40GB
+from repro.gpu.multigpu import (NVLINK3, PCIE4, Interconnect, multi_gpu_time_us,
+                                scaling_curve)
+
+SINGLE = TraceCost(total_us=10_000.0, launch_us=1_000.0, mem_us=9_000.0,
+                   kernels=10, bytes_total=10 ** 9, device=A100_40GB)
+COUNTS = [175_000, 296_000, 602_000]
+
+
+class TestMultiGpuTime:
+    def test_one_gpu_no_comm(self):
+        t = multi_gpu_time_us(SINGLE, 1, COUNTS, 1)
+        assert t == pytest.approx(SINGLE.mem_us + SINGLE.launch_us)
+
+    def test_two_gpus_faster_than_one(self):
+        t1 = multi_gpu_time_us(SINGLE, 1, COUNTS, 1)
+        t2 = multi_gpu_time_us(SINGLE, 1, COUNTS, 2)
+        assert t2 < t1
+
+    def test_comm_added_beyond_one(self):
+        no_comm = SINGLE.mem_us / 2 + SINGLE.launch_us
+        t2 = multi_gpu_time_us(SINGLE, 1, COUNTS, 2)
+        assert t2 > no_comm
+
+    def test_slower_link_costs_more(self):
+        t_nv = multi_gpu_time_us(SINGLE, 1, COUNTS, 4, link=NVLINK3)
+        t_pci = multi_gpu_time_us(SINGLE, 1, COUNTS, 4, link=PCIE4)
+        assert t_pci > t_nv
+
+    def test_imbalance_penalty(self):
+        t = multi_gpu_time_us(SINGLE, 1, COUNTS, 4)
+        t_imb = multi_gpu_time_us(SINGLE, 1, COUNTS, 4, imbalance=1.3)
+        assert t_imb > t
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multi_gpu_time_us(SINGLE, 1, COUNTS, 0)
+        with pytest.raises(ValueError):
+            multi_gpu_time_us(SINGLE, 1, COUNTS, 2, imbalance=0.5)
+
+
+class TestScalingCurve:
+    def test_structure(self):
+        rows = scaling_curve(SINGLE, 1, COUNTS, max_gpus=8)
+        assert len(rows) == 8
+        assert rows[0]["speedup"] == pytest.approx(1.0)
+        assert rows[0]["efficiency"] == pytest.approx(1.0)
+
+    def test_speedup_monotone_but_sublinear(self):
+        rows = scaling_curve(SINGLE, 1, COUNTS, max_gpus=8)
+        speedups = [r["speedup"] for r in rows]
+        assert all(b >= a for a, b in zip(speedups, speedups[1:]))
+        assert speedups[-1] < 8.0  # comm + undivided overhead
+
+    def test_efficiency_declines(self):
+        rows = scaling_curve(SINGLE, 1, COUNTS, max_gpus=8)
+        effs = [r["efficiency"] for r in rows]
+        assert all(b <= a + 1e-12 for a, b in zip(effs, effs[1:]))
+
+    def test_mlups_times_consistent(self):
+        rows = scaling_curve(SINGLE, 3, COUNTS, max_gpus=2)
+        updates = sum(v * 2 ** lv for lv, v in enumerate(COUNTS)) * 3
+        for r in rows:
+            assert r["mlups"] == pytest.approx(updates / r["time_us"])
+
+    def test_custom_link(self):
+        slow = Interconnect("slow", bandwidth_gbs=1.0, latency_us=100.0)
+        rows = scaling_curve(SINGLE, 1, COUNTS, max_gpus=4, link=slow)
+        # with a terrible link, scaling can invert — the model must show it
+        assert rows[3]["speedup"] < 2.0

@@ -1,0 +1,258 @@
+"""Multi-resolution stack construction, validation and interface maps."""
+
+import numpy as np
+import pytest
+
+from repro.core.lattice import D2Q9, D3Q19
+from repro.grid import kinds
+from repro.grid.geometry import Sphere, shell_refinement, voxelize, wall_refinement
+from repro.grid.multigrid import (DomainBC, FaceBC, RefinementSpec, build_multigrid)
+
+
+def two_level_2d(base=(16, 16), width=3.0, bc=None):
+    regions = wall_refinement(base, 2, [width])
+    return RefinementSpec(base_shape=base, refine_regions=regions,
+                          bc=bc or DomainBC())
+
+
+def center_patch_spec(base=(16, 16), lo=5, hi=11):
+    region = np.zeros(base, dtype=bool)
+    region[lo:hi, lo:hi] = True
+    return RefinementSpec(base_shape=base, refine_regions=[region])
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        spec = RefinementSpec((16, 16), [np.zeros((8, 8), dtype=bool)])
+        with pytest.raises(ValueError, match="shape"):
+            build_multigrid(spec, D2Q9)
+
+    def test_empty_region(self):
+        spec = RefinementSpec((16, 16), [np.zeros((16, 16), dtype=bool)])
+        with pytest.raises(ValueError, match="refines nothing"):
+            build_multigrid(spec, D2Q9)
+
+    def test_nesting_violation(self):
+        r0 = np.zeros((8, 8), dtype=bool)
+        r0[2:6, 2:6] = True
+        r1 = np.zeros((16, 16), dtype=bool)
+        r1[0:4, 0:4] = True  # outside the level-1 covered region
+        spec = RefinementSpec((8, 8), [r0, r1])
+        with pytest.raises(ValueError, match="nest"):
+            build_multigrid(spec, D2Q9)
+
+    def test_level_jump_violation(self):
+        r0 = np.zeros((8, 8), dtype=bool)
+        r0[2:6, 2:6] = True
+        r1 = np.zeros((16, 16), dtype=bool)
+        r1[4:12, 4:12] = True  # touches the level-0/1 interface
+        spec = RefinementSpec((8, 8), [r0, r1])
+        with pytest.raises(ValueError, match="jump|too close"):
+            build_multigrid(spec, D2Q9)
+
+    def test_ghost_children_violation(self):
+        r0 = np.zeros((12, 12), dtype=bool)
+        r0[2:10, 2:10] = True
+        r1 = np.zeros((24, 24), dtype=bool)
+        # passes the jump check (one covered cell of clearance) but lands
+        # on the ghost layer's children: still illegal
+        r1[5:18, 5:18] = True
+        spec = RefinementSpec((12, 12), [r0, r1])
+        with pytest.raises(ValueError, match="too close"):
+            build_multigrid(spec, D2Q9)
+
+    def test_three_levels_with_clearance(self):
+        r0 = np.zeros((12, 12), dtype=bool)
+        r0[2:10, 2:10] = True
+        r1 = np.zeros((24, 24), dtype=bool)
+        r1[8:16, 8:16] = True  # two level-1 cells clear of the interface
+        spec = RefinementSpec((12, 12), [r0, r1])
+        mg = build_multigrid(spec, D2Q9)
+        assert mg.num_levels == 3
+
+    def test_lattice_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="-D"):
+            build_multigrid(two_level_2d(), D3Q19)
+
+    def test_periodic_must_pair(self):
+        bc = DomainBC({"x-": FaceBC("periodic")})
+        with pytest.raises(ValueError, match="paired"):
+            build_multigrid(two_level_2d(bc=bc), D2Q9)
+
+    def test_unknown_face(self):
+        bc = DomainBC({"z-": FaceBC("wall")})
+        with pytest.raises(ValueError, match="unknown face"):
+            build_multigrid(two_level_2d(bc=bc), D2Q9)
+
+    def test_solid_needs_finest_shell(self):
+        # solid adjacent to non-finest cells is rejected
+        base = (16, 16)
+        region = np.zeros(base, dtype=bool)
+        region[:8, :] = True
+        solid = np.zeros((32, 32), dtype=bool)
+        solid[14:18, 14:18] = True  # straddles the interface
+        spec = RefinementSpec(base, [region], solid=solid)
+        with pytest.raises(ValueError, match="solid"):
+            build_multigrid(spec, D2Q9)
+
+    def test_moving_face_requires_velocity(self):
+        with pytest.raises(ValueError, match="velocity"):
+            FaceBC("moving")
+
+    def test_unknown_face_kind(self):
+        with pytest.raises(ValueError, match="unknown face BC"):
+            FaceBC("zou-he")
+
+
+class TestPartition:
+    def test_levels_partition_space_2d(self):
+        mg = build_multigrid(two_level_2d(), D2Q9)
+        total = sum(lv.n_owned * 4 ** (mg.num_levels - 1 - lv.level)
+                    for lv in mg.levels)
+        assert total == 32 * 32  # finest-resolution cell count
+
+    def test_levels_partition_space_3d_with_solid(self):
+        sphere = Sphere((8.0, 8.0, 8.0), 2.0)
+        base = (16, 16, 16)
+        regions = shell_refinement(sphere, base, 2, [4.0])
+        solid = voxelize(sphere, (32, 32, 32), 1)
+        spec = RefinementSpec(base, regions, solid=solid)
+        mg = build_multigrid(spec, D3Q19)
+        total = sum(lv.n_owned * 8 ** (mg.num_levels - 1 - lv.level)
+                    for lv in mg.levels)
+        assert total == 32 ** 3 - solid.sum()
+
+    def test_uniform_single_level(self):
+        spec = RefinementSpec((12, 12))
+        mg = build_multigrid(spec, D2Q9)
+        assert mg.num_levels == 1
+        assert mg.total_active() == 144
+        lv = mg.levels[0]
+        assert lv.n_ghost == 0
+        assert lv.exp_q.size == 0 and lv.coal_q.size == 0
+
+    def test_finest_first_distribution(self):
+        mg = build_multigrid(two_level_2d(), D2Q9)
+        dist = mg.finest_first_distribution()
+        assert dist == list(reversed(mg.active_per_level()))
+
+
+class TestInterfaceMaps:
+    def test_explosion_sources_are_coarse_owned(self):
+        mg = build_multigrid(two_level_2d(), D2Q9)
+        fine = mg.levels[1]
+        coarse = mg.levels[0]
+        owned = set(coarse.owned_slots.tolist())
+        assert fine.exp_q.size > 0
+        assert set(fine.exp_src.tolist()) <= owned
+
+    def test_explosion_source_is_parent_of_pull_position(self):
+        mg = build_multigrid(two_level_2d(), D2Q9)
+        fine, coarse = mg.levels[1], mg.levels[0]
+        fine_pos = fine.grid.cell_positions()
+        coarse_pos = coarse.grid.cell_positions()
+        cells = fine.owned_slots[fine.exp_cell]
+        src_pos = fine_pos[cells] - mg.lattice.e[fine.exp_q]
+        assert np.array_equal(coarse_pos[fine.exp_src], src_pos // 2)
+
+    def test_coalescence_sources_are_ghost_rows(self):
+        mg = build_multigrid(two_level_2d(), D2Q9)
+        coarse = mg.levels[0]
+        assert coarse.coal_q.size > 0
+        assert coarse.coal_src.min() >= 0
+        assert coarse.coal_src.max() < coarse.n_ghost
+
+    def test_accumulate_children_count(self):
+        mg = build_multigrid(two_level_2d(), D2Q9)
+        coarse = mg.levels[0]
+        assert coarse.acc_fine_slots.size == coarse.n_ghost * 4
+        # each ghost row receives exactly 2^d children
+        counts = np.bincount(coarse.acc_ghost_rows, minlength=coarse.n_ghost)
+        assert (counts == 4).all()
+
+    def test_accumulate_children_are_true_children(self):
+        mg = build_multigrid(two_level_2d(), D2Q9)
+        coarse, fine = mg.levels[0], mg.levels[1]
+        gpos = coarse.grid.cell_positions()[coarse.ghost_slots]
+        cpos = fine.grid.cell_positions()[coarse.acc_fine_slots]
+        parents = cpos // 2
+        assert np.array_equal(parents, np.repeat(gpos, 4, axis=0))
+
+    def test_fine_ghost_four_layers(self):
+        mg = build_multigrid(center_patch_spec(), D2Q9)
+        fine = mg.levels[1]
+        assert fine.fine_ghost_slots.size > 0
+        fpos = fine.grid.cell_positions()[fine.fine_ghost_slots]
+        # fine-ghost cells lie outside the owned fine region (the centre
+        # patch is [10, 22) at fine resolution) but within 4 cells of it
+        inside = ((fpos >= 10) & (fpos < 22)).all(axis=1)
+        assert not inside.any()
+        assert ((fpos >= 6) & (fpos < 26)).all()
+
+    def test_interface_cell_counts_positive(self):
+        mg = build_multigrid(two_level_2d(), D2Q9)
+        assert mg.levels[1].n_interface_fine > 0
+        assert mg.levels[0].n_interface_coarse > 0
+
+
+class TestBoundaryClassification:
+    def test_cavity_kind_census(self):
+        bc = DomainBC({"y+": FaceBC("moving", velocity=(0.05, 0.0))})
+        mg = build_multigrid(two_level_2d(bc=bc), D2Q9)
+        fine = mg.levels[1]
+        assert fine.mov_q.size > 0      # lid links live on the fine level
+        assert fine.bb_q.size > 0       # side/bottom walls
+        coarse = mg.levels[0]
+        assert coarse.bb_q.size == 0    # coarse region is interior only
+        assert coarse.mov_q.size == 0
+
+    def test_moving_term_value(self):
+        lid = (0.05, 0.0)
+        bc = DomainBC({"y+": FaceBC("moving", velocity=lid)})
+        mg = build_multigrid(two_level_2d(bc=bc), D2Q9)
+        fine = mg.levels[1]
+        lat = mg.lattice
+        expected = 2.0 * lat.w[fine.mov_q] * (lat.ef[fine.mov_q] @ np.asarray(lid)) / lat.cs2
+        assert np.allclose(fine.mov_term, expected)
+
+    def test_outflow_values_are_weights(self):
+        bc = DomainBC({"x+": FaceBC("outflow")})
+        mg = build_multigrid(two_level_2d(bc=bc), D2Q9)
+        fine = mg.levels[1]
+        assert fine.out_q.size > 0
+        assert np.allclose(fine.out_val, mg.lattice.w[fine.out_q])
+
+    def test_periodic_has_no_boundary_entries(self):
+        bc = DomainBC({f: FaceBC("periodic") for f in ("x-", "x+", "y-", "y+")})
+        mg = build_multigrid(center_patch_spec(), D2Q9)  # walls by default
+        mg_p = build_multigrid(
+            RefinementSpec((16, 16), [center_patch_spec().refine_regions[0]], bc=bc),
+            D2Q9)
+        assert mg.levels[0].bb_q.size > 0
+        assert mg_p.levels[0].bb_q.size == 0
+        assert (mg_p.levels[0].kind == kinds.INTERIOR).sum() > \
+            (mg.levels[0].kind == kinds.INTERIOR).sum()
+
+    def test_solid_classified_bounceback(self):
+        sphere = Sphere((8.0, 8.0), 2.0)
+        base = (16, 16)
+        regions = shell_refinement(sphere, base, 2, [4.0])
+        solid = voxelize(sphere, (32, 32), 1)
+        spec = RefinementSpec(base, regions, solid=solid)
+        mg = build_multigrid(spec, D2Q9)
+        fine = mg.levels[1]
+        assert (fine.kind == kinds.BOUNCEBACK).any()
+        # solid cells themselves are not owned
+        pos = fine.grid.cell_positions()[fine.owned_slots]
+        assert not solid[tuple(pos.T)].any()
+
+    def test_kind_matrix_consistency(self):
+        bc = DomainBC({"x-": FaceBC("inlet", velocity=(0.04, 0.0)),
+                       "x+": FaceBC("outflow")})
+        mg = build_multigrid(two_level_2d(bc=bc), D2Q9)
+        for lv in mg.levels:
+            assert (lv.kind[lv.exp_q, lv.exp_cell] == kinds.EXPLOSION).all()
+            assert (lv.kind[lv.coal_q, lv.coal_cell] == kinds.COALESCENCE).all()
+            assert (lv.kind[lv.mov_q, lv.mov_cell] == kinds.MOVING).all()
+            assert (lv.kind[lv.out_q, lv.out_cell] == kinds.OUTFLOW).all()
+            assert (lv.kind[lv.bb_q, lv.bb_cell] == kinds.BOUNCEBACK).all()

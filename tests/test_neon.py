@@ -1,0 +1,152 @@
+"""Mini-Neon runtime and dependency-graph extraction (Fig. 2, Section V-C)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.fusion import FUSED_FULL, MODIFIED_BASELINE
+from repro.core.simulation import Simulation
+from repro.grid.geometry import wall_refinement
+from repro.grid.multigrid import DomainBC, FaceBC, RefinementSpec
+from repro.neon.graph import build_dependency_graph, graph_stats, schedule_waves
+from repro.neon.runtime import FieldRef, KernelRecord, Runtime
+
+
+def rec(name, level, reads=(), writes=()):
+    return KernelRecord(name=name, level=level, n_cells=10, bytes_read=100,
+                        bytes_written=100, reads=tuple(reads), writes=tuple(writes))
+
+
+F0, FS0 = FieldRef("f", 0), FieldRef("fstar", 0)
+F1, FS1 = FieldRef("f", 1), FieldRef("fstar", 1)
+
+
+class TestRuntime:
+    def test_launch_executes_and_records(self):
+        rt = Runtime()
+        hit = []
+        rt.launch("C", 0, n_cells=5, bytes_read=10, bytes_written=20,
+                  fn=lambda: hit.append(1))
+        assert hit == [1]
+        assert rt.launches() == 1
+        assert rt.records[0].bytes_total == 30
+
+    def test_step_marker_slicing(self):
+        rt = Runtime()
+        rt.launch("C", 0, n_cells=1, bytes_read=1, bytes_written=1)
+        rt.step_marker()
+        rt.launch("S", 0, n_cells=1, bytes_read=1, bytes_written=1)
+        rt.launch("O", 0, n_cells=1, bytes_read=1, bytes_written=1)
+        rt.step_marker()
+        last = rt.last_step()
+        assert [r.name for r in last] == ["S", "O"]
+
+    def test_last_step_without_markers(self):
+        rt = Runtime()
+        rt.launch("C", 0, n_cells=1, bytes_read=1, bytes_written=1)
+        assert len(rt.last_step()) == 1
+
+    def test_summary_by_name(self):
+        rt = Runtime()
+        for _ in range(3):
+            rt.launch("C", 0, n_cells=7, bytes_read=2, bytes_written=3)
+        s = rt.summary_by_name()
+        assert s["C"] == {"launches": 3, "cells": 21, "bytes": 15}
+
+    def test_reset(self):
+        rt = Runtime()
+        rt.launch("C", 0, n_cells=1, bytes_read=1, bytes_written=1)
+        rt.step_marker()
+        rt.reset()
+        assert rt.launches() == 0 and rt.markers == []
+
+
+class TestDependencyGraph:
+    def test_raw_edge(self):
+        g = build_dependency_graph([
+            rec("C", 0, reads=[F0], writes=[FS0]),
+            rec("S", 0, reads=[FS0], writes=[F0]),
+        ])
+        assert g.has_edge(0, 1)
+        assert g.number_of_edges() == 1
+
+    def test_war_edge(self):
+        g = build_dependency_graph([
+            rec("S", 0, reads=[FS0], writes=[F0]),
+            rec("C", 0, reads=[F0], writes=[FS0]),  # writes what 0 read
+        ], reduce=False)
+        assert g.has_edge(0, 1)
+
+    def test_waw_edge(self):
+        g = build_dependency_graph([
+            rec("E", 1, writes=[F1]),
+            rec("S", 1, writes=[F1]),
+        ], reduce=False)
+        assert g.has_edge(0, 1)
+
+    def test_independent_kernels_unconnected(self):
+        g = build_dependency_graph([
+            rec("C", 0, reads=[F0], writes=[FS0]),
+            rec("C", 1, reads=[F1], writes=[FS1]),
+        ])
+        assert g.number_of_edges() == 0
+
+    def test_acyclic(self):
+        sim = Simulation(RefinementSpec((16, 16), wall_refinement((16, 16), 2, [3.0])),
+                         "D2Q9", "bgk", viscosity=0.05, config=MODIFIED_BASELINE)
+        sim.run(2)
+        g = build_dependency_graph(sim.runtime.records, reduce=False)
+        assert nx.is_directed_acyclic_graph(g)
+
+    def test_labels_follow_paper_naming(self):
+        g = build_dependency_graph([rec("C", 0), rec("S", 1)])
+        assert g.nodes[0]["label"] == "C0"
+        assert g.nodes[1]["label"] == "S1"
+
+
+class TestScheduleWaves:
+    def test_chain_depth(self):
+        g = build_dependency_graph([
+            rec("C", 0, reads=[F0], writes=[FS0]),
+            rec("S", 0, reads=[FS0], writes=[F0]),
+            rec("C", 0, reads=[F0], writes=[FS0]),
+        ], reduce=False)
+        waves = schedule_waves(g)
+        assert [len(w) for w in waves] == [1, 1, 1]
+
+    def test_parallel_wave(self):
+        g = build_dependency_graph([
+            rec("C", 0, reads=[F0], writes=[FS0]),
+            rec("C", 1, reads=[F1], writes=[FS1]),
+            rec("S", 0, reads=[FS0, FS1], writes=[F0]),
+        ], reduce=False)
+        waves = schedule_waves(g)
+        assert waves[0] == [0, 1]
+        assert waves[1] == [2]
+
+    def test_empty(self):
+        assert schedule_waves(nx.DiGraph()) == []
+
+
+class TestStepGraphs:
+    def make(self, config):
+        bc = DomainBC({"y+": FaceBC("moving", velocity=(0.05, 0.0))})
+        spec = RefinementSpec((24, 24), wall_refinement((24, 24), 3, [7.0, 2.0]),
+                              bc=bc)
+        sim = Simulation(spec, "D2Q9", "bgk", viscosity=0.05, config=config)
+        sim.run(2)
+        return build_dependency_graph(sim.runtime.last_step(), reduce=False)
+
+    def test_fig2_kernel_ratio(self):
+        sb = graph_stats(self.make(MODIFIED_BASELINE))
+        so = graph_stats(self.make(FUSED_FULL))
+        assert 2.5 <= sb["kernels"] / so["kernels"] <= 3.5
+
+    def test_fused_graph_is_shallower(self):
+        sb = graph_stats(self.make(MODIFIED_BASELINE))
+        so = graph_stats(self.make(FUSED_FULL))
+        assert so["depth"] < sb["depth"]
+
+    def test_baseline_has_concurrency_to_exploit(self):
+        sb = graph_stats(self.make(MODIFIED_BASELINE))
+        assert sb["max_width"] >= 2

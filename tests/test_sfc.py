@@ -1,0 +1,110 @@
+"""Space-filling curves for block ordering (paper Section V-A)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.grid.sfc import (CURVES, block_order, hilbert_key, morton_decode,
+                            morton_key, sweep_key)
+
+RNG = np.random.default_rng(11)
+
+
+def full_box(shape):
+    return np.array(list(itertools.product(*[range(s) for s in shape])))
+
+
+class TestMorton:
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_roundtrip(self, d):
+        coords = RNG.integers(0, 64, (200, d))
+        keys = morton_key(coords, bits=6)
+        assert np.array_equal(morton_decode(keys, d, 6), coords)
+
+    def test_injective_over_box(self):
+        coords = full_box((8, 8, 8))
+        keys = morton_key(coords, shape=(8, 8, 8))
+        assert len(np.unique(keys)) == len(coords)
+
+    def test_origin_is_zero(self):
+        assert morton_key(np.array([[0, 0, 0]]), bits=4)[0] == 0
+
+    def test_known_2d_values(self):
+        # Z-order of the 2x2 quad: (0,0) (0,1) (1,0) (1,1)
+        coords = np.array([[0, 0], [0, 1], [1, 0], [1, 1]])
+        keys = morton_key(coords, bits=1)
+        assert sorted(keys.tolist()) == keys.tolist()
+
+    def test_locality_beats_sweep(self):
+        # RMS jump between consecutive blocks: Morton suppresses the long
+        # row-wrap jumps of a plain sweep; Hilbert is perfectly local.
+        shape = (16, 16, 16)
+        coords = full_box(shape)
+        def rms_jump(order):
+            c = coords[order]
+            d = np.abs(np.diff(c, axis=0)).sum(axis=1).astype(float)
+            return np.sqrt((d * d).mean())
+        sweep = rms_jump(block_order(coords, shape, "sweep"))
+        morton = rms_jump(block_order(coords, shape, "morton"))
+        hilbert = rms_jump(block_order(coords, shape, "hilbert"))
+        assert hilbert < morton < sweep
+        assert hilbert == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            morton_key(np.array([[-1, 0]]))
+
+
+class TestHilbert:
+    @pytest.mark.parametrize("shape", [(8, 8), (8, 8, 8), (4, 16, 8)])
+    def test_injective(self, shape):
+        coords = full_box(shape)
+        keys = hilbert_key(coords, shape=shape)
+        assert len(np.unique(keys)) == len(coords)
+
+    @pytest.mark.parametrize("d,bits", [(2, 3), (3, 2)])
+    def test_unit_steps(self, d, bits):
+        # The defining Hilbert property: consecutive curve positions are
+        # face neighbours (unit Manhattan distance).
+        n = 2 ** bits
+        coords = full_box((n,) * d)
+        keys = hilbert_key(coords, bits=bits)
+        path = coords[np.argsort(keys)]
+        steps = np.abs(np.diff(path, axis=0)).sum(axis=1)
+        assert (steps == 1).all()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_key(np.array([[0, -2]]))
+
+
+class TestSweep:
+    def test_is_row_major(self):
+        shape = (4, 5, 6)
+        coords = full_box(shape)
+        keys = sweep_key(coords, shape)
+        assert np.array_equal(np.argsort(keys), np.arange(len(coords)))
+
+
+class TestBlockOrder:
+    @pytest.mark.parametrize("curve", CURVES)
+    def test_is_permutation(self, curve):
+        shape = (8, 8, 8)
+        coords = full_box(shape)
+        perm = block_order(coords, shape, curve)
+        assert sorted(perm.tolist()) == list(range(len(coords)))
+
+    def test_subset_of_box(self):
+        # sparse block sets (the realistic case) still order consistently
+        shape = (16, 16)
+        coords = full_box(shape)
+        keep = RNG.random(len(coords)) < 0.3
+        sub = coords[keep]
+        perm = block_order(sub, shape, "hilbert")
+        keys = hilbert_key(sub, shape=shape)
+        assert (np.diff(keys[perm].astype(np.int64)) > 0).all()
+
+    def test_unknown_curve(self):
+        with pytest.raises(KeyError):
+            block_order(np.zeros((1, 3), dtype=int), (2, 2, 2), "peano")

@@ -1,0 +1,109 @@
+"""High-level Simulation facade and the MLUPS metric."""
+
+import numpy as np
+import pytest
+
+from repro.core.fusion import FUSED_FULL, MODIFIED_BASELINE
+from repro.core.simulation import Simulation, mlups
+from repro.grid.geometry import wall_refinement
+from repro.grid.multigrid import DomainBC, FaceBC, RefinementSpec
+
+
+def spec_2d():
+    bc = DomainBC({"y+": FaceBC("moving", velocity=(0.05, 0.0))})
+    return RefinementSpec((16, 16), wall_refinement((16, 16), 2, [3.0]), bc=bc)
+
+
+class TestConstruction:
+    def test_exactly_one_relaxation_spec(self):
+        with pytest.raises(ValueError):
+            Simulation(spec_2d(), "D2Q9", "bgk")
+        with pytest.raises(ValueError):
+            Simulation(spec_2d(), "D2Q9", "bgk", viscosity=0.1, omega0=1.0)
+
+    def test_lattice_by_name_or_object(self):
+        from repro.core.lattice import D2Q9
+        a = Simulation(spec_2d(), "d2q9", "bgk", viscosity=0.1)
+        b = Simulation(spec_2d(), D2Q9, "bgk", viscosity=0.1)
+        assert a.lattice is b.lattice
+
+    def test_collision_object(self):
+        from repro.core.collision import BGK
+        from repro.core.lattice import D2Q9
+        sim = Simulation(spec_2d(), "D2Q9", BGK(D2Q9), viscosity=0.1)
+        assert sim.engine.collision.name == "BGK"
+
+    def test_collision_lattice_mismatch(self):
+        from repro.core.collision import BGK
+        from repro.core.lattice import D3Q19
+        with pytest.raises(ValueError):
+            Simulation(spec_2d(), "D2Q9", BGK(D3Q19), viscosity=0.1)
+
+    def test_default_config_is_fused(self):
+        sim = Simulation(spec_2d(), "D2Q9", "bgk", viscosity=0.1)
+        assert sim.stepper.config is FUSED_FULL
+
+
+class TestRun:
+    def test_step_counting(self):
+        sim = Simulation(spec_2d(), "D2Q9", "bgk", viscosity=0.1)
+        sim.run(3)
+        sim.step()
+        assert sim.steps_done == 4
+
+    def test_run_returns_elapsed(self):
+        sim = Simulation(spec_2d(), "D2Q9", "bgk", viscosity=0.1)
+        dt = sim.run(2)
+        assert dt > 0
+        assert sim.elapsed >= dt
+
+    def test_callback_cadence(self):
+        sim = Simulation(spec_2d(), "D2Q9", "bgk", viscosity=0.1)
+        hits = []
+        sim.run(6, callback=lambda s: hits.append(s.steps_done), callback_every=2)
+        assert hits == [2, 4, 6]
+
+    def test_initialize_resets(self):
+        sim = Simulation(spec_2d(), "D2Q9", "bgk", viscosity=0.1)
+        sim.run(3)
+        sim.initialize()
+        assert sim.steps_done == 0 and sim.elapsed == 0.0
+        assert np.allclose(sim.engine.total_momentum(), 0.0, atol=1e-12)
+
+
+class TestObservables:
+    def test_wallclock_mlups(self):
+        sim = Simulation(spec_2d(), "D2Q9", "bgk", viscosity=0.1)
+        sim.run(5)
+        m = sim.wallclock_mlups()
+        expected_updates = sum(v * 2 ** lv for lv, v in
+                               enumerate(sim.mgrid.active_per_level())) * 5
+        assert m == pytest.approx(expected_updates / (sim.elapsed * 1e6))
+
+    def test_is_stable_detects_nan(self):
+        sim = Simulation(spec_2d(), "D2Q9", "bgk", viscosity=0.1)
+        assert sim.is_stable()
+        sim.engine.levels[0].f[0, 0] = np.nan
+        assert not sim.is_stable()
+
+    def test_max_velocity_at_rest(self):
+        sim = Simulation(spec_2d(), "D2Q9", "bgk", viscosity=0.1)
+        assert sim.max_velocity() == pytest.approx(0.0, abs=1e-12)
+
+    def test_positions_in_level_units(self):
+        sim = Simulation(spec_2d(), "D2Q9", "bgk", viscosity=0.1)
+        # the fine level hugs the walls, so it reaches the box edge (31 at
+        # fine resolution); the coarse level owns only the interior
+        assert sim.positions(1).max() == 31
+        assert 8 <= sim.positions(0).max() < 16
+
+
+class TestMlupsFormula:
+    def test_paper_formula(self):
+        # MLUPS = sum_L V_L 2^L N / T_us
+        assert mlups([100, 200], 10, 1.0) == pytest.approx(
+            (100 * 1 + 200 * 2) * 10 / 1e6)
+
+    def test_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            mlups([10], 1, 0.0)

@@ -1,0 +1,93 @@
+"""Acoustic scaling and the per-level relaxation of Eq. (9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lattice import CS2
+from repro.core.units import (FlowScales, omega_at_level, omega_from_viscosity,
+                              tau_at_level, viscosity_from_omega)
+
+
+class TestOmegaViscosity:
+    def test_roundtrip(self):
+        for nu in (0.001, 0.05, 0.4, 2.0):
+            assert viscosity_from_omega(omega_from_viscosity(nu)) == pytest.approx(nu)
+
+    def test_range(self):
+        assert 0 < omega_from_viscosity(1e-6) < 2
+        assert 0 < omega_from_viscosity(100.0) < 2
+
+    def test_omega_one_means_tau_one(self):
+        # omega = 1 <=> tau = 1 <=> nu = c_s^2 / 2
+        assert omega_from_viscosity(CS2 / 2.0) == pytest.approx(1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            omega_from_viscosity(0.0)
+        with pytest.raises(ValueError):
+            omega_from_viscosity(-1.0)
+        with pytest.raises(ValueError):
+            viscosity_from_omega(2.0)
+        with pytest.raises(ValueError):
+            viscosity_from_omega(0.0)
+
+
+class TestEquation9:
+    def test_level_zero_identity(self):
+        for w0 in (0.3, 1.0, 1.7, 1.99):
+            assert omega_at_level(w0, 0) == pytest.approx(w0)
+
+    @pytest.mark.parametrize("w0", [0.5, 1.0, 1.5, 1.9, 1.99])
+    @pytest.mark.parametrize("lvl", [0, 1, 2, 3, 5])
+    def test_viscosity_invariant_across_levels(self, w0, lvl):
+        # nu_L = c_s^2 (tau_L - dt_L/2) must equal nu_0, with dt_L = 2^-L
+        # and tau_L = dt_L / omega_L.
+        wl = omega_at_level(w0, lvl)
+        dt = 0.5 ** lvl
+        nu_l = CS2 * dt * (1.0 / wl - 0.5)
+        nu_0 = CS2 * (1.0 / w0 - 0.5)
+        assert nu_l == pytest.approx(nu_0, rel=1e-12)
+
+    def test_omega_decreases_with_level(self):
+        # finer levels have larger tau/dt, i.e. smaller omega, for omega0 < 2
+        w0 = 1.8
+        values = [omega_at_level(w0, lv) for lv in range(6)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_omega_stays_in_stability_range(self):
+        for w0 in np.linspace(0.05, 1.99, 40):
+            for lv in range(8):
+                assert 0.0 < omega_at_level(w0, lv) < 2.0
+
+    def test_matches_tau_relation(self):
+        # tau_L/dt_L = 2^L tau_0 + (1 - 2^L)/2 (Section II-A)
+        w0 = 1.6
+        tau0 = 1.0 / w0
+        for lv in range(5):
+            tau_ratio = tau_at_level(tau0, lv)
+            assert omega_at_level(w0, lv) == pytest.approx(1.0 / tau_ratio, rel=1e-12)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            omega_at_level(1.0, -1)
+        with pytest.raises(ValueError):
+            omega_at_level(2.5, 1)
+
+
+class TestFlowScales:
+    def test_cavity_example(self):
+        fs = FlowScales(length=48.0, velocity=0.06, reynolds=100.0)
+        assert fs.viscosity == pytest.approx(0.0288)
+        assert 0 < fs.omega0 < 2
+        assert fs.mach == pytest.approx(0.06 / np.sqrt(CS2))
+
+    def test_omega_matches_eq9(self):
+        fs = FlowScales(length=32.0, velocity=0.05, reynolds=400.0)
+        for lv in range(4):
+            assert fs.omega(lv) == pytest.approx(omega_at_level(fs.omega0, lv))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FlowScales(length=0, velocity=0.1, reynolds=10)
+        with pytest.raises(ValueError):
+            FlowScales(length=1, velocity=-0.1, reynolds=10)

@@ -1,0 +1,91 @@
+"""Validation data tables, analytic solutions and error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.validation.analytic import (couette_profile, poiseuille_profile,
+                                       taylor_green_2d, taylor_green_decay_rate)
+from repro.validation.ghia import (GHIA_RE100_U, GHIA_RE100_V, GHIA_RE400_U,
+                                   centered, profiles)
+from repro.validation.metrics import interp_profile, l2_error, linf_error, relative_l2
+
+
+class TestGhiaTables:
+    def test_u_profile_endpoints(self):
+        # no-slip floor and the moving lid
+        assert GHIA_RE100_U[0].tolist() == [0.0, 0.0]
+        assert GHIA_RE100_U[-1].tolist() == [1.0, 1.0]
+
+    def test_v_profile_endpoints(self):
+        assert GHIA_RE100_V[0, 1] == 0.0
+        assert GHIA_RE100_V[-1, 1] == 0.0
+
+    def test_coordinates_monotonic(self):
+        for table in (GHIA_RE100_U, GHIA_RE100_V, GHIA_RE400_U):
+            assert (np.diff(table[:, 0]) > 0).all()
+
+    def test_re100_u_minimum_location(self):
+        # the primary vortex puts the u-minimum just below mid-height
+        i = GHIA_RE100_U[:, 1].argmin()
+        assert 0.4 < GHIA_RE100_U[i, 0] < 0.55
+        assert GHIA_RE100_U[i, 1] == pytest.approx(-0.21090)
+
+    def test_profiles_lookup(self):
+        u, v = profiles(100)
+        assert u is GHIA_RE100_U and v is GHIA_RE100_V
+        with pytest.raises(KeyError):
+            profiles(1000)
+
+    def test_centered_shifts_origin(self):
+        c = centered(GHIA_RE100_U)
+        assert c[0, 0] == pytest.approx(-0.5)
+        assert c[-1, 0] == pytest.approx(0.5)
+        assert np.array_equal(c[:, 1], GHIA_RE100_U[:, 1])
+
+
+class TestAnalytic:
+    def test_taylor_green_incompressible(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((200, 2)) * 32
+        eps = 1e-5
+        dudx = (taylor_green_2d(pts + [eps, 0], 0, 0.1, 1, (32, 32))[0]
+                - taylor_green_2d(pts - [eps, 0], 0, 0.1, 1, (32, 32))[0]) / (2 * eps)
+        dvdy = (taylor_green_2d(pts + [0, eps], 0, 0.1, 1, (32, 32))[1]
+                - taylor_green_2d(pts - [0, eps], 0, 0.1, 1, (32, 32))[1]) / (2 * eps)
+        assert np.allclose(dudx + dvdy, 0.0, atol=1e-6)
+
+    def test_taylor_green_decay(self):
+        pts = np.array([[3.0, 7.0]])
+        u0 = taylor_green_2d(pts, 0.0, 0.05, 1.0, (16, 16))
+        rate = taylor_green_decay_rate(0.05, (16.0, 16.0)) / 2  # velocity rate
+        u1 = taylor_green_2d(pts, 10.0, 0.05, 1.0, (16, 16))
+        assert np.allclose(u1, u0 * np.exp(-rate * 10.0), rtol=1e-12)
+
+    def test_poiseuille_profile(self):
+        y = np.array([0.0, 0.5, 1.0])
+        p = poiseuille_profile(y, 1.0, 2.0)
+        assert p.tolist() == [0.0, 2.0, 0.0]
+
+    def test_couette_profile(self):
+        y = np.array([0.0, 0.5, 1.0])
+        assert couette_profile(y, 1.0, 0.1).tolist() == [0.0, 0.05, 0.1]
+
+
+class TestMetrics:
+    def test_l2_and_linf(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.0, 2.0, 4.0])
+        assert linf_error(a, b) == 1.0
+        assert l2_error(a, b) == pytest.approx(np.sqrt(1.0 / 3.0))
+
+    def test_relative_l2(self):
+        ref = np.array([3.0, 4.0])
+        assert relative_l2(ref * 1.1, ref) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            relative_l2(ref, np.zeros(2))
+
+    def test_interp_profile_unsorted_input(self):
+        x = np.array([2.0, 0.0, 1.0])
+        v = np.array([4.0, 0.0, 2.0])
+        out = interp_profile(np.array([0.5, 1.5]), x, v)
+        assert np.allclose(out, [1.0, 3.0])
