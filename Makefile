@@ -1,0 +1,27 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint analysis check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# ruff and mypy are optional dev tools (pip install -e ".[lint]").
+# Skipping when absent is deliberate: the guard only bypasses the tool
+# lookup, never a real lint failure.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed -- skipping (pip install -e '.[lint]')"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed -- skipping (pip install -e '.[lint]')"; \
+	fi
+
+analysis:
+	$(PYTHON) -m repro.analysis --all-configs
+
+check: lint test analysis

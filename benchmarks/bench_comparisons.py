@@ -24,7 +24,7 @@ from conftest import run_once
 from repro.bench.harness import full_scale_mlups, measure
 from repro.bench.workloads import lid_cavity
 from repro.core.fusion import FUSED_FULL, ORIGINAL_BASELINE
-from repro.core.simulation import Simulation, mlups
+from repro.core.simulation import mlups
 from repro.gpu.costmodel import cost_trace, predicted_mlups
 from repro.gpu.device import A100_40GB
 from repro.io.tables import format_table

@@ -18,7 +18,6 @@ see DESIGN.md for the substitution rationale.
 Run:  python examples/airplane_capability.py
 """
 
-import numpy as np
 
 from repro import Simulation
 from repro.bench.workloads import airplane_geometry, airplane_tunnel

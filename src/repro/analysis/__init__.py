@@ -1,0 +1,39 @@
+"""Trace-based verification of the mini-Neon programming model.
+
+The Neon runtime (paper Section V-C) derives the dependency DAG — and
+therefore every synchronisation the schedule contains — from the field
+sets each kernel *declares*.  A declaration that drifts from the kernel
+body's actual buffer accesses silently corrupts the schedule, which on a
+real GPU is a data race.  This subsystem closes that loop:
+
+* :mod:`repro.analysis.capture` — shadow-records the *actual* per-field,
+  per-row-range reads/writes (including atomic Accumulate scatters) each
+  kernel body performs while it executes;
+* :mod:`repro.analysis.verify` — diffs captured accesses against each
+  :class:`~repro.neon.runtime.KernelRecord`'s declared reads/writes and
+  byte counts;
+* :mod:`repro.analysis.races` — flags same-wave kernels whose observed
+  accesses conflict at row-interval granularity (atomic-atomic pairs are
+  commutative and exempt);
+* :mod:`repro.analysis.cli` — ``python -m repro.analysis`` lints every
+  fusion configuration on small multigrid workloads.
+"""
+
+from .capture import Access, AccessTracer
+from .cli import ALL_CONFIGS, lint_config, main, small_workloads
+from .races import Race, detect_races
+from .verify import Finding, verify_record, verify_trace
+
+__all__ = [
+    "ALL_CONFIGS",
+    "Access",
+    "AccessTracer",
+    "Finding",
+    "Race",
+    "detect_races",
+    "lint_config",
+    "main",
+    "small_workloads",
+    "verify_record",
+    "verify_trace",
+]

@@ -1,0 +1,159 @@
+"""``python -m repro.analysis`` — lint every fusion configuration.
+
+For each requested :class:`~repro.core.fusion.FusionConfig` and workload
+the linter runs a short functional simulation under access capture, then
+
+1. diffs every kernel's observed accesses against its declarations
+   (:mod:`repro.analysis.verify`),
+2. schedules the declared dependency graph into concurrency waves and
+   race-checks every wave at row-interval granularity
+   (:mod:`repro.analysis.races`), and
+3. repeats the race check on the interval-refined graph (the schedule a
+   runtime exploiting disjoint row ranges would use).
+
+Exit status is non-zero when any finding or race survives — this is the
+CI gate that every future fusion/optimisation change must keep green.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from ..bench.workloads import lid_cavity
+from ..core.fusion import ABLATION_CONFIGS, ORIGINAL_BASELINE, FusionConfig, get_config
+from ..core.simulation import Simulation
+from ..neon.graph import build_dependency_graph, schedule_waves
+from ..neon.runtime import Runtime
+from .races import detect_races
+from .verify import verify_trace
+
+__all__ = ["ALL_CONFIGS", "lint_config", "main", "small_workloads"]
+
+#: Every configuration the linter gates: the Fig. 9 ablation plus the
+#: original (Fig. 4a) baseline.
+ALL_CONFIGS: tuple[FusionConfig, ...] = (ORIGINAL_BASELINE,) + ABLATION_CONFIGS
+
+
+def small_workloads() -> dict[str, dict]:
+    """Small-but-representative multigrid workloads for functional linting.
+
+    Both exercise moving-wall + no-slip boundaries and every cross-level
+    operator (Explosion, Accumulate, Coalescence) while staying fast
+    enough to sweep 7 configurations x 2 workloads in seconds.
+    """
+    return {
+        "cavity2d-2lvl": dict(base=(20, 20), num_levels=2, lattice="D2Q9"),
+        "cavity3d-3lvl": dict(base=(12, 12, 12), num_levels=3, lattice="D3Q19"),
+    }
+
+
+def lint_config(config: FusionConfig, workload: str = "cavity2d-2lvl",
+                steps: int = 2) -> dict:
+    """Run one config on one workload under capture; return a report dict."""
+    wl_kwargs = small_workloads()[workload]
+    wl = lid_cavity(**wl_kwargs)
+    rt = Runtime()
+    rt.capture_start()
+    sim = Simulation(wl.spec, wl.lattice, wl.collision,
+                     viscosity=wl.viscosity, config=config, runtime=rt)
+    sim.run(steps)
+    captured = rt.capture_stop()
+    records = rt.records
+
+    findings = verify_trace(records, captured)
+    declared = build_dependency_graph(records, reduce=False)
+    declared_waves = schedule_waves(declared)
+    races = detect_races(records, captured, declared_waves)
+    refined = build_dependency_graph(records, reduce=False, access_map=captured)
+    refined_waves = schedule_waves(refined)
+    refined_races = detect_races(records, captured, refined_waves)
+
+    return {
+        "config": config.name,
+        "workload": workload,
+        "steps": steps,
+        "kernels": len(records),
+        "declared_edges": declared.number_of_edges(),
+        "declared_waves": len(declared_waves),
+        "refined_edges": refined.number_of_edges(),
+        "refined_waves": len(refined_waves),
+        "findings": [str(f) for f in findings],
+        "races": [str(r) for r in races],
+        "refined_races": [str(r) for r in refined_races],
+        "stable": sim.is_stable(),
+    }
+
+
+def _run_reports(configs: Sequence[FusionConfig], workloads: Sequence[str],
+                 steps: int) -> list[dict]:
+    return [lint_config(cfg, wl, steps=steps)
+            for cfg in configs for wl in workloads]
+
+
+def _problems(report: dict) -> int:
+    return (len(report["findings"]) + len(report["races"])
+            + len(report["refined_races"]) + (0 if report["stable"] else 1))
+
+
+def _print_text(reports: list[dict], out) -> None:
+    for rep in reports:
+        status = "OK" if _problems(rep) == 0 else "FAIL"
+        print(f"[{status}] {rep['config']:>14s} x {rep['workload']:<14s} "
+              f"kernels={rep['kernels']:4d} "
+              f"waves={rep['declared_waves']:3d} "
+              f"(refined {rep['refined_waves']:3d}) "
+              f"findings={len(rep['findings'])} races={len(rep['races'])}",
+              file=out)
+        for f in rep["findings"]:
+            print(f"    declaration: {f}", file=out)
+        for r in rep["races"]:
+            print(f"    race: {r}", file=out)
+        for r in rep["refined_races"]:
+            print(f"    race (refined schedule): {r}", file=out)
+        if not rep["stable"]:
+            print("    simulation diverged (NaN/Inf populations)", file=out)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Trace-based declaration verifier and race detector "
+                    "for every kernel-fusion configuration.")
+    parser.add_argument("--config", action="append", default=None,
+                        metavar="NAME",
+                        help="lint one configuration (repeatable); "
+                             f"choices: {', '.join(c.name for c in ALL_CONFIGS)}")
+    parser.add_argument("--all-configs", action="store_true",
+                        help="lint the full Fig. 9 ablation plus the "
+                             "original baseline (default when no --config)")
+    parser.add_argument("--workload", action="append", default=None,
+                        choices=sorted(small_workloads()),
+                        help="workload(s) to lint on (default: all)")
+    parser.add_argument("--steps", type=int, default=2,
+                        help="coarse time steps to trace (default 2)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON report")
+    args = parser.parse_args(argv)
+
+    if args.config:
+        try:
+            configs = [get_config(name) for name in args.config]
+        except KeyError as exc:
+            parser.error(str(exc.args[0]))
+    else:
+        configs = list(ALL_CONFIGS)
+    workloads = args.workload or sorted(small_workloads())
+
+    reports = _run_reports(configs, workloads, args.steps)
+    total = sum(_problems(r) for r in reports)
+    if args.json:
+        json.dump({"runs": reports, "total_problems": total}, sys.stdout,
+                  indent=2)
+        print()
+    else:
+        _print_text(reports, sys.stdout)
+        print(f"{len(reports)} runs, {total} problem(s)")
+    return 1 if total else 0

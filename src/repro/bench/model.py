@@ -17,7 +17,6 @@ The per-level full-size voxel counts come either from Table I itself
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..neon.runtime import KernelRecord
 

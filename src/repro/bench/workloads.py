@@ -10,9 +10,8 @@ trace to full size with :mod:`repro.bench.model`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from ..grid.geometry import (AirplaneProxy, Shape, Sphere, enforce_shell_separation,
                              shell_refinement, voxelize, wall_refinement)

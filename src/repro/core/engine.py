@@ -57,6 +57,10 @@ class LevelBuffers:
     fg_coarse_rows: np.ndarray    # rows in the coarser level's buffers
     meta_bytes: int               # per-pass structural metadata traffic
     positions: np.ndarray         # (n_owned, d) level-resolution coordinates
+    #: True when streaming pulls from the fine-ghost region (rows >=
+    #: n_owned; original baseline only) — the S kernel then reads the
+    #: logical ``fghost`` field in addition to ``fstar``.
+    pulls_fghost: bool = False
 
 
 class Engine:
@@ -104,6 +108,9 @@ class Engine:
         pull_rows = row_of_slot[cl.pull_src]
         if (pull_rows < 0).any():
             raise AssertionError("interior pull references an unallocated row")
+        sl_src_rows = row_of_slot[cl.sl_src] if cl.sl_src.size else cl.sl_src
+        pulls_fghost = bool((pull_rows >= cl.n_owned).any()
+                            or (sl_src_rows >= cl.n_owned).any())
         grid_meta = sum(cl.grid.metadata_bytes().values())
         return LevelBuffers(
             f=np.zeros((Q, n_used), dtype=self.dtype),
@@ -115,7 +122,7 @@ class Engine:
             mov_term=cl.mov_term,
             out_q=cl.out_q, out_cell=cl.out_cell, out_val=cl.out_val,
             sl_q=cl.sl_q, sl_cell=cl.sl_cell, sl_src_q=cl.sl_src_q,
-            sl_src=row_of_slot[cl.sl_src] if cl.sl_src.size else cl.sl_src,
+            sl_src=sl_src_rows,
             sb_q=cl.sb_q, sb_cell=cl.sb_cell, sb_opp=lat.opp[cl.sb_q],
             sb_e=lat.ef[lat.opp[cl.sb_q]],
             exp_q=cl.exp_q, exp_cell=cl.exp_cell, exp_rows=np.empty(0, dtype=np.int64),
@@ -128,6 +135,7 @@ class Engine:
             fg_coarse_rows=np.empty(0, dtype=np.int64),
             meta_bytes=grid_meta,
             positions=cl.grid.cell_positions()[cl.owned_slots],
+            pulls_fghost=pulls_fghost,
         )
 
     def _link_levels(self) -> None:
@@ -174,20 +182,89 @@ class Engine:
             buf.fstar[:, :n] = feq
             buf.ghost_acc[:] = 0.0
 
+    # -- access capture helpers ------------------------------------------------
+    def _tracer(self):
+        """The runtime's access tracer, if a traced launch is in flight."""
+        t = self.rt.tracer
+        return t if (t is not None and t.active) else None
+
+    @staticmethod
+    def _span(rows: np.ndarray) -> tuple[int, int]:
+        """Half-open interval bounding the rows an index array touches."""
+        if rows.size == 0:
+            return (0, 0)
+        return (int(rows.min()), int(rows.max()) + 1)
+
+    def _trace_fstar_read(self, t, lv: int, rows: np.ndarray,
+                          extra_rows: list[np.ndarray], nbytes_total: int) -> None:
+        """Record a gather from ``fstar``, splitting the fine-ghost region.
+
+        Rows ``>= n_owned`` are the original baseline's fine-ghost layers:
+        logically they are the ``fghost`` field, and the declarations name
+        them as such.  ``nbytes_total`` is apportioned by value count;
+        ``extra_rows`` (boundary-patch sources) extend the intervals but
+        carry no extra bytes — on the GPU each destination entry is read
+        exactly once, from either the bulk pull or its patch.
+        """
+        n_owned = self.levels[lv].n_owned
+        flat = rows.ravel()
+        nvals = flat.size
+        all_rows = np.concatenate([flat] + [a for a in extra_rows if a.size]) \
+            if extra_rows else flat
+        ghost = all_rows >= n_owned
+        n_ghost_vals = int((flat >= n_owned).sum())
+        per_val = nbytes_total / nvals if nvals else 0.0
+        owned_rows, ghost_rows = all_rows[~ghost], all_rows[ghost]
+        if owned_rows.size:
+            lo, hi = self._span(owned_rows)
+            t.read(FieldRef("fstar", lv), lo, hi,
+                   round(per_val * (nvals - n_ghost_vals)))
+        if ghost_rows.size:
+            lo, hi = self._span(ghost_rows)
+            t.read(FieldRef("fghost", lv), lo, hi, round(per_val * n_ghost_vals))
+
     # -- kernel bodies ---------------------------------------------------------
     def _collide_into_fstar(self, lv: int) -> None:
         buf = self.levels[lv]
         n = buf.n_owned
+        t = self._tracer()
+        if t is not None:
+            nb = self.lat.q * self.itemsize * n
+            t.read(FieldRef("f", lv), 0, n, nb)
+            t.write(FieldRef("fstar", lv), 0, n, nb)
         self.collision.collide(buf.f[:, :n], self.omega[lv],
                                out=buf.fstar[:, :n], force=self.force[lv])
 
-    def _accumulate_values(self, lv: int) -> None:
-        """Add the finer level's fresh post-collision values into our ghosts."""
+    def _accumulate_values(self, lv: int, mode: str = "fused") -> None:
+        """Add the finer level's fresh post-collision values into our ghosts.
+
+        ``mode`` selects the traffic attribution of the equivalent GPU
+        kernel: ``"fused"`` (Collision+Accumulate — the source values sit
+        in registers, the scatter is atomic), ``"scatter"`` (standalone
+        fine-initiated atomic scatter) or ``"gather"`` (the original
+        baseline's coarse-initiated gather, launched over ghost cells).
+        The arithmetic is identical in all three.
+        """
         buf = self.levels[lv]
         fine = self.levels[lv + 1]
         if buf.acc_ghost_rows.size == 0:
             return
         ng = buf.ghost_acc.shape[1]
+        t = self._tracer()
+        if t is not None:
+            Q, i = self.lat.q, self.itemsize
+            m = buf.acc_fine_rows.size
+            flo, fhi = self._span(buf.acc_fine_rows)
+            glo, ghi = self._span(buf.acc_ghost_rows)
+            t.read(FieldRef("fstar", lv + 1), flo, fhi,
+                   0 if mode == "fused" else Q * i * m)
+            if mode == "gather":
+                t.read(FieldRef("gacc", lv), 0, ng, Q * i * ng)
+                t.write(FieldRef("gacc", lv), 0, ng, Q * i * ng)
+            else:
+                if mode == "scatter":
+                    t.read(FieldRef("gacc", lv), 0, ng, Q * i * ng)
+                t.atomic(FieldRef("gacc", lv), glo, ghi, Q * i * m)
         for q in range(self.lat.q):
             buf.ghost_acc[q] += np.bincount(
                 buf.acc_ghost_rows,
@@ -197,6 +274,14 @@ class Engine:
     def _stream_bulk(self, lv: int) -> None:
         buf = self.levels[lv]
         n = buf.n_owned
+        t = self._tracer()
+        if t is not None:
+            self._trace_fstar_read(
+                t, lv, buf.pull_rows,
+                [buf.bb_cell, buf.mov_cell, buf.sl_src],
+                self.lat.q * self.itemsize * n)
+            t.write(FieldRef("f", lv), 0, n, self.lat.q * self.itemsize * n)
+            t.meta(buf.meta_bytes)
         for q in range(self.lat.q):
             buf.f[q, :n] = buf.fstar[q, buf.pull_rows[q]]
         # boundary patches (part of the same kernel on the GPU)
@@ -210,18 +295,44 @@ class Engine:
         if buf.sl_q.size:  # specular reflection off a free-slip plane
             buf.f[buf.sl_q, buf.sl_cell] = buf.fstar[buf.sl_src_q, buf.sl_src]
 
-    def _explode_values(self, lv: int, from_ghost: bool) -> None:
+    def _explode_values(self, lv: int, from_ghost: bool,
+                        subsumed: bool = False) -> None:
         buf = self.levels[lv]
         if buf.exp_q.size == 0:
             return
+        t = self._tracer()
+        if t is not None:
+            m, i = buf.exp_q.size, self.itemsize
+            if from_ghost:
+                lo, hi = self._span(buf.exp_ghost_rows)
+                t.read(FieldRef("fghost", lv), lo, hi, i * m)
+            else:
+                lo, hi = self._span(buf.exp_rows)
+                t.read(FieldRef("fstar", lv - 1), lo, hi, i * m)
+            lo, hi = self._span(buf.exp_cell)
+            # fused into streaming, the write lands on entries the bulk
+            # pull already paid for — no extra traffic
+            t.write(FieldRef("f", lv), lo, hi, 0 if subsumed else i * m)
         if from_ghost:
             buf.f[buf.exp_q, buf.exp_cell] = buf.fstar[buf.exp_q, buf.exp_ghost_rows]
         else:
             coarse = self.levels[lv - 1]
             buf.f[buf.exp_q, buf.exp_cell] = coarse.fstar[buf.exp_q, buf.exp_rows]
 
-    def _coalesce_values(self, lv: int) -> None:
+    def _coalesce_values(self, lv: int, subsumed: bool = False) -> None:
         buf = self.levels[lv]
+        t = self._tracer()
+        if t is not None:
+            i = self.itemsize
+            ng = buf.ghost_acc.shape[1]
+            if buf.coal_q.size:
+                m = buf.coal_q.size
+                lo, hi = self._span(buf.coal_src)
+                t.read(FieldRef("gacc", lv), lo, hi, i * m)
+                lo, hi = self._span(buf.coal_cell)
+                t.write(FieldRef("f", lv), lo, hi, 0 if subsumed else i * m)
+            if ng:
+                t.write(FieldRef("gacc", lv), 0, ng, i * buf.ghost_acc.size)
         if buf.coal_q.size:
             buf.f[buf.coal_q, buf.coal_cell] = (buf.ghost_acc[buf.coal_q, buf.coal_src]
                                                 * self.inv_navg)
@@ -233,6 +344,13 @@ class Engine:
         if buf.fg_rows.size == 0:
             return
         coarse = self.levels[lv - 1]
+        t = self._tracer()
+        if t is not None:
+            nb = self.lat.q * self.itemsize * buf.fg_rows.size
+            lo, hi = self._span(buf.fg_coarse_rows)
+            t.read(FieldRef("fstar", lv - 1), lo, hi, nb)
+            lo, hi = self._span(buf.fg_rows)
+            t.write(FieldRef("fghost", lv), lo, hi, nb)
         buf.fstar[:, buf.fg_rows] = coarse.fstar[:, buf.fg_coarse_rows]
 
     # -- public ops: one launch record each -------------------------------------
@@ -250,7 +368,7 @@ class Engine:
         def body() -> None:
             self._collide_into_fstar(lv)
             if fuse_accumulate and lv > 0:
-                self._accumulate_values(lv - 1)
+                self._accumulate_values(lv - 1, mode="fused")
         if fuse_accumulate and lv > 0 and m:
             name = "CA"
             writes = writes + (FieldRef("gacc", lv - 1),)
@@ -283,7 +401,8 @@ class Engine:
             atomic_bytes=0 if gather else Q * self.itemsize * m,
             reads=(FieldRef("fstar", lv), FieldRef("gacc", lv - 1)),
             writes=(FieldRef("gacc", lv - 1),),
-            fn=lambda: self._accumulate_values(lv - 1))
+            fn=lambda: self._accumulate_values(
+                lv - 1, mode="gather" if gather else "scatter"))
 
     def op_explosion_copy(self, lv: int) -> None:
         """Original baseline's Explosion: coarse f* copied into fine ghost layers."""
@@ -305,6 +424,10 @@ class Engine:
         Q, n = self.lat.q, buf.n_owned
         name = "S"
         reads = [FieldRef("fstar", lv)]
+        if buf.pulls_fghost:
+            # original baseline: the pull gathers from the fine-ghost
+            # layers the Explosion copy just filled
+            reads.append(FieldRef("fghost", lv))
         writes = [FieldRef("f", lv)]
         br = Q * self.itemsize * n + buf.meta_bytes
         bw = Q * self.itemsize * n
@@ -324,9 +447,9 @@ class Engine:
         def body() -> None:
             self._stream_bulk(lv)
             if do_exp:
-                self._explode_values(lv, exp_from_ghost)
+                self._explode_values(lv, exp_from_ghost, subsumed=True)
             if do_coal:
-                self._coalesce_values(lv)
+                self._coalesce_values(lv, subsumed=True)
         self.rt.launch(name, lv, n_cells=n, bytes_read=br, bytes_written=bw,
                        reads=tuple(reads), writes=tuple(writes), fn=body)
 
@@ -377,12 +500,22 @@ class Engine:
                 writes.append(FieldRef("gacc", lv - 1))
             if buf.exp_q.size:
                 reads.append(FieldRef("fstar", lv - 1))
-        def body() -> None:
+        def run() -> None:
             self._collide_into_fstar(lv)
             if lv > 0:
-                self._accumulate_values(lv - 1)
+                self._accumulate_values(lv - 1, mode="fused")
             self._stream_bulk(lv)
-            self._explode_values(lv, from_ghost=False)
+            self._explode_values(lv, from_ghost=False, subsumed=True)
+
+        def body() -> None:
+            t = self._tracer()
+            if t is None:
+                run()
+            else:
+                # the post-collision intermediate lives in registers: its
+                # accesses are invisible to DRAM and to the declarations
+                with t.suppress(FieldRef("fstar", lv)):
+                    run()
         self.rt.launch("CASE", lv, n_cells=n,
                        bytes_read=Q * self.itemsize * n + self.itemsize * buf.exp_q.size + buf.meta_bytes,
                        bytes_written=Q * self.itemsize * n + atomic,

@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .costmodel import TraceCost
-from .device import DeviceSpec
 
 __all__ = ["Interconnect", "NVLINK3", "PCIE4", "multi_gpu_time_us",
            "scaling_curve"]

@@ -8,9 +8,19 @@ write-after-read and write-after-write conflicts on the same
 reduction of this DAG is what the paper draws in Figure 2; its depth is
 the number of unavoidable synchronisation points, and its width the
 concurrency the scheduler can exploit.
+
+When an ``access_map`` of observed accesses (see
+:mod:`repro.analysis.capture`) is supplied, edges are refined to
+row-interval granularity: two kernels that touch *disjoint* row ranges of
+the same field do not conflict, and concurrent atomic-add scatters to the
+same accumulator are commutative and carry no write-write edge.  This is
+the check that lets a fused kernel read one range of a field while a
+sibling writes another without serialising the pair.
 """
 
 from __future__ import annotations
+
+from typing import Mapping, Sequence
 
 import networkx as nx
 
@@ -18,32 +28,98 @@ from .runtime import KernelRecord
 
 __all__ = ["build_dependency_graph", "graph_stats", "schedule_waves"]
 
+_ATOMIC = "atomic"
+_META = "meta"
+
+
+def _side_accesses(access_map: Mapping[int, Sequence], idx: int, ref,
+                   want_write: bool) -> list | None:
+    """Observed accesses of record ``idx`` on ``ref``, or None if unknown.
+
+    ``None`` (record not captured, or captured with no access to a field
+    it declares) means the caller must be conservative and assume the
+    whole field is touched.
+    """
+    if idx not in access_map:
+        return None
+    out = [a for a in access_map[idx]
+           if a.field == ref and a.kind != _META
+           and (a.kind in ("write", _ATOMIC)) == want_write]
+    return out or None
+
+
+def _refs_conflict(access_map: Mapping[int, Sequence], i: int, i_writes: bool,
+                   j: int, j_writes: bool, ref) -> bool:
+    """Row-interval conflict test between two kernels on one field."""
+    a_side = _side_accesses(access_map, i, ref, i_writes)
+    b_side = _side_accesses(access_map, j, ref, j_writes)
+    if a_side is None or b_side is None:
+        return True  # no observation — keep the declared (conservative) edge
+    for a in a_side:
+        for b in b_side:
+            if a.kind == _ATOMIC and b.kind == _ATOMIC:
+                continue  # commutative atomic adds
+            if a.lo < b.hi and b.lo < a.hi:
+                return True
+    return False
+
 
 def build_dependency_graph(records: list[KernelRecord],
-                           reduce: bool = True) -> nx.DiGraph:
+                           reduce: bool = True,
+                           access_map: Mapping[int, Sequence] | None = None,
+                           ) -> nx.DiGraph:
     """DAG over a kernel trace; node ``i`` is ``records[i]``.
 
     Node attributes: ``label`` (e.g. ``"S1"`` — kernel initial + level, the
     paper's Fig. 2 naming), ``name``, ``level``.
+
+    ``access_map`` (record index → observed :class:`~repro.analysis.capture.Access`
+    list, e.g. :attr:`repro.neon.runtime.Runtime.captured`) switches edge
+    construction to row-interval granularity — see the module docstring.
     """
     g = nx.DiGraph()
     for i, r in enumerate(records):
         g.add_node(i, label=f"{r.name}{r.level}", name=r.name, level=r.level)
-    last_writer: dict[object, int] = {}
-    readers_since_write: dict[object, list[int]] = {}
-    for i, r in enumerate(records):
-        for ref in r.reads:
-            if ref in last_writer:
-                g.add_edge(last_writer[ref], i, dep="raw")
-            readers_since_write.setdefault(ref, []).append(i)
-        for ref in r.writes:
-            for j in readers_since_write.get(ref, ()):  # WAR
-                if j != i:
-                    g.add_edge(j, i, dep="war")
-            if ref in last_writer and last_writer[ref] != i:  # WAW
-                g.add_edge(last_writer[ref], i, dep="waw")
-            last_writer[ref] = i
-            readers_since_write[ref] = []
+    if access_map is None:
+        last_writer: dict[object, int] = {}
+        readers_since_write: dict[object, list[int]] = {}
+        for i, r in enumerate(records):
+            for ref in r.reads:
+                if ref in last_writer:
+                    g.add_edge(last_writer[ref], i, dep="raw")
+                readers_since_write.setdefault(ref, []).append(i)
+            for ref in r.writes:
+                for j in readers_since_write.get(ref, ()):  # WAR
+                    if j != i:
+                        g.add_edge(j, i, dep="war")
+                if ref in last_writer and last_writer[ref] != i:  # WAW
+                    g.add_edge(last_writer[ref], i, dep="waw")
+                last_writer[ref] = i
+                readers_since_write[ref] = []
+    else:
+        # Interval-refined construction: a skipped edge means the two
+        # kernels touch disjoint rows, so *older* writers/readers stay
+        # live — keep full logs instead of only the most recent writer.
+        # Redundant (transitively implied) edges are harmless; the
+        # transitive reduction removes them.
+        writers: dict[object, list[int]] = {}
+        readers: dict[object, list[int]] = {}
+        for i, r in enumerate(records):
+            for ref in r.reads:
+                for j in writers.get(ref, ()):  # RAW
+                    if j != i and _refs_conflict(access_map, j, True, i, False, ref):
+                        g.add_edge(j, i, dep="raw")
+            for ref in r.writes:
+                for j in readers.get(ref, ()):  # WAR
+                    if j != i and _refs_conflict(access_map, j, False, i, True, ref):
+                        g.add_edge(j, i, dep="war")
+                for j in writers.get(ref, ()):  # WAW
+                    if j != i and _refs_conflict(access_map, j, True, i, True, ref):
+                        g.add_edge(j, i, dep="waw")
+            for ref in r.reads:
+                readers.setdefault(ref, []).append(i)
+            for ref in r.writes:
+                writers.setdefault(ref, []).append(i)
     if reduce and g.number_of_edges():
         tr = nx.transitive_reduction(g)
         tr.add_nodes_from(g.nodes(data=True))

@@ -72,12 +72,23 @@ class Runtime:
     def __init__(self) -> None:
         self.records: list[KernelRecord] = []
         self.markers: list[int] = []
+        #: Active :class:`~repro.analysis.capture.AccessTracer`, or ``None``.
+        self.tracer = None
+        #: Observed accesses per record index (populated in capture mode).
+        self.captured: dict[int, list] = {}
 
     def launch(self, name: str, level: int, *, n_cells: int,
                bytes_read: int, bytes_written: int,
                reads: tuple[FieldRef, ...] = (), writes: tuple[FieldRef, ...] = (),
                atomic_bytes: int = 0, tag: str = "", fn=None) -> None:
-        if fn is not None:
+        if self.tracer is not None:
+            self.tracer.begin_launch()
+            try:
+                if fn is not None:
+                    fn()
+            finally:
+                self.captured[len(self.records)] = self.tracer.end_launch()
+        elif fn is not None:
             fn()
         self.records.append(KernelRecord(
             name=name, level=level, n_cells=int(n_cells),
@@ -92,6 +103,25 @@ class Runtime:
     def reset(self) -> None:
         self.records.clear()
         self.markers.clear()
+        self.captured.clear()
+
+    # -- access capture ------------------------------------------------------
+    def capture_start(self) -> None:
+        """Shadow-record every kernel body's actual buffer accesses.
+
+        While active, each ``launch`` runs its body under an
+        :class:`~repro.analysis.capture.AccessTracer`; the observed
+        accesses land in :attr:`captured`, keyed by record index.  The
+        functional result of the program is unaffected.
+        """
+        if self.tracer is None:
+            from ..analysis.capture import AccessTracer
+            self.tracer = AccessTracer()
+
+    def capture_stop(self) -> dict[int, list]:
+        """Stop capturing; return (and keep) the accesses observed so far."""
+        self.tracer = None
+        return dict(self.captured)
 
     # -- trace queries -------------------------------------------------------
     def last_step(self) -> list[KernelRecord]:

@@ -1,0 +1,320 @@
+"""Access capture, declaration verifier, race detector (repro.analysis)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.capture import ATOMIC, META, READ, WRITE, Access, AccessTracer
+from repro.analysis.cli import ALL_CONFIGS, lint_config, main, small_workloads
+from repro.analysis.races import access_conflict, detect_races
+from repro.analysis.verify import verify_record, verify_trace
+from repro.bench.workloads import lid_cavity
+from repro.core.engine import Engine
+from repro.core.fusion import FUSED_FULL, MODIFIED_BASELINE
+from repro.core.simulation import Simulation
+from repro.core.stepper import NonUniformStepper
+from repro.grid.multigrid import build_multigrid
+from repro.core.lattice import get_lattice
+from repro.neon.graph import build_dependency_graph, schedule_waves
+from repro.neon.runtime import FieldRef, KernelRecord, Runtime
+
+F0, FS0 = FieldRef("f", 0), FieldRef("fstar", 0)
+A0, B0 = FieldRef("a", 0), FieldRef("b", 0)
+
+
+def rec(name, level=0, reads=(), writes=(), bytes_read=0, bytes_written=0,
+        atomic_bytes=0):
+    return KernelRecord(name=name, level=level, n_cells=4,
+                        bytes_read=bytes_read, bytes_written=bytes_written,
+                        reads=tuple(reads), writes=tuple(writes),
+                        atomic_bytes=atomic_bytes)
+
+
+def traced_sim(config, base=(20, 20), num_levels=2, lattice="D2Q9", steps=2):
+    wl = lid_cavity(base=base, num_levels=num_levels, lattice=lattice)
+    rt = Runtime()
+    rt.capture_start()
+    sim = Simulation(wl.spec, wl.lattice, wl.collision, viscosity=wl.viscosity,
+                     config=config, runtime=rt)
+    sim.run(steps)
+    return sim, rt
+
+
+class TestAccessTracer:
+    def test_launch_bracketing(self):
+        t = AccessTracer()
+        assert not t.active
+        t.begin_launch()
+        t.read(F0, 0, 4, 32)
+        t.write(FS0, 0, 4, 32)
+        accs = t.end_launch()
+        assert [a.kind for a in accs] == [READ, WRITE]
+        assert accs[0].lo == 0 and accs[0].hi == 4 and accs[0].nbytes == 32
+        assert not t.active
+
+    def test_recording_outside_launch_is_dropped(self):
+        t = AccessTracer()
+        t.read(F0, 0, 4, 32)  # no launch in flight
+        t.begin_launch()
+        assert t.end_launch() == []
+
+    def test_suppressed_fields_invisible(self):
+        t = AccessTracer()
+        t.begin_launch()
+        with t.suppress(FS0):
+            t.write(FS0, 0, 4, 32)
+            t.read(F0, 0, 4, 32)
+        assert [a.field for a in t.end_launch()] == [F0]
+
+    def test_nested_launch_rejected(self):
+        t = AccessTracer()
+        t.begin_launch()
+        with pytest.raises(RuntimeError):
+            t.begin_launch()
+
+    def test_meta_has_no_field(self):
+        t = AccessTracer()
+        t.begin_launch()
+        t.meta(128)
+        (a,) = t.end_launch()
+        assert a.kind == META and a.field is None and a.nbytes == 128
+
+
+class TestRuntimeCapture:
+    def test_capture_aligns_with_records(self):
+        _, rt = traced_sim(MODIFIED_BASELINE)
+        assert set(rt.captured) == set(range(len(rt.records)))
+        assert all(rt.captured[i] for i in rt.captured), \
+            "every engine kernel body must record at least one access"
+
+    def test_capture_stop_freezes(self):
+        sim, rt = traced_sim(MODIFIED_BASELINE)
+        n = len(rt.records)
+        rt.capture_stop()
+        sim.run(1)
+        assert len(rt.records) > n
+        assert set(rt.captured) == set(range(n))
+
+    def test_functional_result_unchanged_by_capture(self):
+        wl = lid_cavity(base=(16, 16), num_levels=2, lattice="D2Q9")
+        plain = Simulation(wl.spec, wl.lattice, wl.collision,
+                           viscosity=wl.viscosity, config=FUSED_FULL)
+        rt = Runtime()
+        rt.capture_start()
+        traced = Simulation(wl.spec, wl.lattice, wl.collision,
+                            viscosity=wl.viscosity, config=FUSED_FULL,
+                            runtime=rt)
+        plain.run(3)
+        traced.run(3)
+        for lv in range(plain.num_levels):
+            a, b = plain.engine.levels[lv], traced.engine.levels[lv]
+            np.testing.assert_array_equal(a.f[:, :a.n_owned], b.f[:, :b.n_owned])
+
+    def test_case_keeps_intermediate_in_registers(self):
+        sim, rt = traced_sim(FUSED_FULL)
+        finest = sim.num_levels - 1
+        case_idx = [i for i, r in enumerate(rt.records) if r.name == "CASE"]
+        assert case_idx, "FUSED_FULL must launch CASE kernels"
+        for i in case_idx:
+            fields = {a.field for a in rt.captured[i] if a.field is not None}
+            assert FieldRef("fstar", finest) not in fields
+
+    def test_accumulate_scatter_is_atomic(self):
+        _, rt = traced_sim(FUSED_FULL)
+        atomics = [a for accs in rt.captured.values() for a in accs
+                   if a.kind == ATOMIC]
+        assert atomics and all(a.field.name == "gacc" for a in atomics)
+
+
+class TestVerifier:
+    @pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.name)
+    def test_all_declarations_sound_2d(self, config):
+        _, rt = traced_sim(config)
+        assert verify_trace(rt.records, rt.captured) == []
+
+    def test_undeclared_read_flagged(self):
+        r = rec("C", reads=(), writes=(FS0,), bytes_read=32, bytes_written=32)
+        accs = [Access(F0, READ, 0, 4, 32), Access(FS0, WRITE, 0, 4, 32)]
+        checks = {f.check for f in verify_record(0, r, accs)}
+        assert checks == {"undeclared-read"}
+
+    def test_internal_forwarding_needs_no_declaration(self):
+        # CA-style kernel: re-reads its own freshly written output
+        r = rec("CA", reads=(F0,), writes=(FS0,), bytes_read=32, bytes_written=32)
+        accs = [Access(F0, READ, 0, 4, 32), Access(FS0, WRITE, 0, 4, 32),
+                Access(FS0, READ, 0, 4, 0)]
+        assert verify_record(0, r, accs) == []
+
+    def test_over_declarations_flagged(self):
+        r = rec("S", reads=(FS0, A0), writes=(F0, B0),
+                bytes_read=32, bytes_written=32)
+        accs = [Access(FS0, READ, 0, 4, 32), Access(F0, WRITE, 0, 4, 32)]
+        checks = sorted(f.check for f in verify_record(0, r, accs))
+        assert checks == ["over-declared-read", "over-declared-write"]
+
+    def test_byte_mismatches_flagged(self):
+        r = rec("A", reads=(FS0,), writes=(A0,), bytes_read=100,
+                bytes_written=64, atomic_bytes=0)
+        accs = [Access(FS0, READ, 0, 4, 32), Access(A0, ATOMIC, 0, 4, 64)]
+        checks = {f.check for f in verify_record(0, r, accs)}
+        assert checks == {"bytes-read-mismatch", "atomic-bytes-mismatch"}
+
+    def test_uncaptured_record_flagged(self):
+        r = rec("C", reads=(F0,), writes=(FS0,))
+        findings = verify_trace([r], {})
+        assert [f.check for f in findings] == ["uncaptured"]
+
+    def test_misdeclared_engine_kernel_caught_end_to_end(self):
+        """A kernel whose declaration drifts from its body is detected."""
+
+        class MisdeclaredEngine(Engine):
+            def op_collide(self, lv, fuse_accumulate=False):
+                buf = self.levels[lv]
+                Q, n = self.lat.q, buf.n_owned
+                self.rt.launch(
+                    "C", lv, n_cells=n,
+                    bytes_read=Q * self.itemsize * n,
+                    bytes_written=Q * self.itemsize * n,
+                    reads=(FieldRef("f", lv),),
+                    writes=(),  # forgot to declare the fstar output
+                    fn=lambda: self._collide_into_fstar(lv))
+
+        wl = lid_cavity(base=(16, 16), num_levels=2, lattice="D2Q9")
+        mgrid = build_multigrid(wl.spec, get_lattice(wl.lattice))
+        rt = Runtime()
+        rt.capture_start()
+        eng = MisdeclaredEngine(mgrid, wl.collision, 1.2, runtime=rt)
+        eng.initialize()
+        NonUniformStepper(eng, MODIFIED_BASELINE).step()
+        findings = verify_trace(rt.records, rt.captured)
+        bad = [f for f in findings if f.check == "undeclared-write"]
+        assert bad and all("fstar" in f.field for f in bad)
+
+
+class TestRaceDetector:
+    def test_injected_same_wave_plain_write_conflict(self):
+        # declared field sets are disjoint -> both kernels land in wave 0;
+        # the bodies actually write overlapping rows of the same field.
+        records = [rec("X", writes=(A0,)), rec("Y", writes=(B0,))]
+        captured = {0: [Access(F0, WRITE, 0, 10, 80)],
+                    1: [Access(F0, WRITE, 5, 15, 80)]}
+        waves = schedule_waves(build_dependency_graph(records, reduce=False))
+        assert waves == [[0, 1]]
+        races = detect_races(records, captured, waves)
+        assert len(races) == 1 and races[0].hazard == "waw"
+        assert races[0].field == str(F0)
+
+    def test_disjoint_rows_do_not_race(self):
+        records = [rec("X", writes=(A0,)), rec("Y", writes=(B0,))]
+        captured = {0: [Access(F0, WRITE, 0, 5, 40)],
+                    1: [Access(F0, WRITE, 5, 10, 40)]}
+        waves = [[0, 1]]
+        assert detect_races(records, captured, waves) == []
+
+    def test_atomic_atomic_commutes(self):
+        captured = {0: [Access(A0, ATOMIC, 0, 10, 80)],
+                    1: [Access(A0, ATOMIC, 0, 10, 80)]}
+        records = [rec("X"), rec("Y")]
+        assert detect_races(records, captured, [[0, 1]]) == []
+
+    def test_atomic_vs_plain_races(self):
+        records = [rec("X"), rec("Y")]
+        captured = {0: [Access(A0, ATOMIC, 0, 10, 80)],
+                    1: [Access(A0, READ, 2, 4, 16)]}
+        races = detect_races(records, captured, [[0, 1]])
+        assert len(races) == 1 and races[0].hazard == "atomic-plain"
+
+    def test_read_read_is_fine(self):
+        records = [rec("X"), rec("Y")]
+        captured = {0: [Access(A0, READ, 0, 10, 80)],
+                    1: [Access(A0, READ, 0, 10, 80)]}
+        assert detect_races(records, captured, [[0, 1]]) == []
+
+    def test_conflict_matrix(self):
+        w = Access(A0, WRITE, 0, 4, 32)
+        r = Access(A0, READ, 0, 4, 32)
+        a = Access(A0, ATOMIC, 0, 4, 32)
+        assert access_conflict(w, w) == "waw"
+        assert access_conflict(w, r) == "rw"
+        assert access_conflict(a, r) == "atomic-plain"
+        assert access_conflict(a, a) is None
+        assert access_conflict(r, r) is None
+
+
+class TestIntervalRefinedGraph:
+    def test_disjoint_row_ranges_do_not_conflict(self):
+        records = [rec("X", writes=(F0,)), rec("Y", writes=(F0,))]
+        access_map = {0: [Access(F0, WRITE, 0, 5, 40)],
+                      1: [Access(F0, WRITE, 5, 10, 40)]}
+        g = build_dependency_graph(records, reduce=False, access_map=access_map)
+        assert g.number_of_edges() == 0
+        g_decl = build_dependency_graph(records, reduce=False)
+        assert g_decl.number_of_edges() == 1  # declared view must serialise
+
+    def test_overlapping_rows_keep_edge(self):
+        records = [rec("X", writes=(F0,)), rec("Y", writes=(F0,))]
+        access_map = {0: [Access(F0, WRITE, 0, 6, 48)],
+                      1: [Access(F0, WRITE, 5, 10, 40)]}
+        g = build_dependency_graph(records, reduce=False, access_map=access_map)
+        assert g.has_edge(0, 1)
+
+    def test_atomic_scatters_commute(self):
+        records = [rec("X", writes=(A0,)), rec("Y", writes=(A0,))]
+        access_map = {0: [Access(A0, ATOMIC, 0, 10, 80)],
+                      1: [Access(A0, ATOMIC, 0, 10, 80)]}
+        g = build_dependency_graph(records, reduce=False, access_map=access_map)
+        assert g.number_of_edges() == 0
+
+    def test_missing_capture_stays_conservative(self):
+        records = [rec("X", writes=(F0,)), rec("Y", writes=(F0,))]
+        g = build_dependency_graph(records, reduce=False,
+                                   access_map={0: [Access(F0, WRITE, 0, 5, 40)]})
+        assert g.has_edge(0, 1)
+
+    def test_skipped_edge_keeps_older_writer_live(self):
+        # k0 writes rows [0,10); k1 writes rows [10,20) (no WAW with k0);
+        # k2 reads rows [0,5) -> must depend on k0 even though k1 wrote last.
+        records = [rec("W1", writes=(F0,)), rec("W2", writes=(F0,)),
+                   rec("R", reads=(F0,))]
+        access_map = {0: [Access(F0, WRITE, 0, 10, 80)],
+                      1: [Access(F0, WRITE, 10, 20, 80)],
+                      2: [Access(F0, READ, 0, 5, 40)]}
+        g = build_dependency_graph(records, reduce=False, access_map=access_map)
+        assert g.has_edge(0, 2)
+        assert not g.has_edge(1, 2)
+        assert not g.has_edge(0, 1)
+
+    def test_refined_trace_stays_schedulable(self):
+        _, rt = traced_sim(FUSED_FULL)
+        g = build_dependency_graph(rt.records, reduce=False,
+                                   access_map=rt.captured)
+        waves = schedule_waves(g)
+        assert detect_races(rt.records, rt.captured, waves) == []
+
+
+class TestCLI:
+    def test_lint_config_report_shape(self):
+        rep = lint_config(MODIFIED_BASELINE, "cavity2d-2lvl", steps=1)
+        assert rep["findings"] == [] and rep["races"] == []
+        assert rep["kernels"] > 0 and rep["declared_waves"] > 0
+        assert rep["stable"]
+
+    def test_main_single_config_ok(self, capsys):
+        assert main(["--config", "ours-4f", "--workload", "cavity2d-2lvl"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "0 problem(s)" in out
+
+    def test_main_json_output(self, capsys):
+        code = main(["--config", "baseline-4b", "--workload", "cavity2d-2lvl",
+                     "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["total_problems"] == 0
+        assert data["runs"][0]["config"] == "baseline-4b"
+
+    def test_workloads_cover_2d_and_3d(self):
+        wls = small_workloads()
+        dims = {len(kw["base"]) for kw in wls.values()}
+        levels = {kw["num_levels"] for kw in wls.values()}
+        assert dims == {2, 3} and {2, 3} <= levels

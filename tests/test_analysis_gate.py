@@ -1,0 +1,51 @@
+"""CI gate: the analysis linter must stay green on every configuration.
+
+This mirrors the ``python -m repro.analysis --all-configs`` job in
+``.github/workflows/ci.yml`` so the gate also runs wherever only pytest
+is available.  The ruff/mypy checks piggyback here too, skipping
+gracefully when the tools are not installed.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ALL_CONFIGS, lint_config, main, small_workloads
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+@pytest.mark.parametrize("workload", sorted(small_workloads()))
+@pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.name)
+def test_config_is_clean(config, workload):
+    rep = lint_config(config, workload)
+    assert rep["findings"] == []
+    assert rep["races"] == []
+    assert rep["refined_races"] == []
+    assert rep["stable"]
+
+
+def test_cli_all_configs_exits_zero(capsys):
+    assert main(["--all-configs", "--workload", "cavity2d-2lvl"]) == 0
+    out = capsys.readouterr().out
+    assert "0 problem(s)" in out
+    assert out.count("[OK]") == len(ALL_CONFIGS)
+
+
+def test_ruff_clean():
+    if shutil.which("ruff") is None:
+        pytest.skip("ruff not installed")
+    proc = subprocess.run(["ruff", "check", "src", "tests"],
+                          cwd=REPO, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_mypy_clean():
+    if shutil.which("mypy") is None:
+        pytest.skip("mypy not installed")
+    proc = subprocess.run([sys.executable, "-m", "mypy"],
+                          cwd=REPO, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,9 +1,8 @@
 """Workload builders, the measurement harness and trace extrapolation."""
 
-import numpy as np
 import pytest
 
-from repro.bench.harness import Measurement, default_concurrency, full_scale_mlups, measure
+from repro.bench.harness import default_concurrency, full_scale_mlups, measure
 from repro.bench.model import level_factors, scale_trace
 from repro.bench.workloads import (TABLE1_DISTRIBUTIONS, TABLE1_SIZES,
                                    airplane_tunnel, lid_cavity, sphere_tunnel)

@@ -1,6 +1,5 @@
 """Roofline cost model and device specs."""
 
-import numpy as np
 import pytest
 
 from repro.gpu.costmodel import cost_trace, kernel_time_us, predicted_mlups

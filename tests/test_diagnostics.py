@@ -8,7 +8,7 @@ from repro.core.diagnostics import (drag_coefficient, enstrophy_2d, kinetic_ener
 from repro.core.simulation import Simulation
 from repro.grid import kinds
 from repro.grid.geometry import Sphere, shell_refinement, voxelize
-from repro.grid.multigrid import DomainBC, FaceBC, RefinementSpec, build_multigrid
+from repro.grid.multigrid import DomainBC, FaceBC, RefinementSpec
 from repro.io.checkpoint import restore_checkpoint, save_checkpoint
 
 

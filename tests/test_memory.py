@@ -1,6 +1,5 @@
 """Memory footprint model (Section IV-A, Section VI-B, Fig. 1)."""
 
-import numpy as np
 import pytest
 
 from repro.core.lattice import D3Q19, D3Q27

@@ -1,8 +1,6 @@
 """Mini-Neon runtime and dependency-graph extraction (Fig. 2, Section V-C)."""
 
 import networkx as nx
-import numpy as np
-import pytest
 
 from repro.core.fusion import FUSED_FULL, MODIFIED_BASELINE
 from repro.core.simulation import Simulation
@@ -126,6 +124,86 @@ class TestScheduleWaves:
 
     def test_empty(self):
         assert schedule_waves(nx.DiGraph()) == []
+
+
+class TestGraphEdgeCases:
+    def test_empty_trace(self):
+        g = build_dependency_graph([])
+        assert g.number_of_nodes() == 0 and g.number_of_edges() == 0
+        assert schedule_waves(g) == []
+        assert graph_stats(g) == {"kernels": 0, "edges": 0, "depth": 0,
+                                  "max_width": 0, "mean_width": 0.0}
+
+    def test_single_kernel(self):
+        g = build_dependency_graph([rec("C", 0, reads=[F0], writes=[FS0])])
+        assert schedule_waves(g) == [[0]]
+        stats = graph_stats(g)
+        assert stats["kernels"] == 1 and stats["depth"] == 1
+
+    def test_kernel_with_no_declared_fields_floats_free(self):
+        g = build_dependency_graph([
+            rec("C", 0, reads=[F0], writes=[FS0]),
+            rec("N", 0),  # no declarations: depends on nothing
+        ], reduce=False)
+        assert g.number_of_edges() == 0
+        assert schedule_waves(g) == [[0, 1]]
+
+    def test_war_only_chain(self):
+        # k0 reads A; k1 overwrites A and reads B; k2 overwrites B:
+        # two WAR edges, no RAW/WAW, depth 3.
+        A, B = FieldRef("a", 0), FieldRef("b", 0)
+        g = build_dependency_graph([
+            rec("R", 0, reads=[A]),
+            rec("W", 0, reads=[B], writes=[A]),
+            rec("V", 0, writes=[B]),
+        ], reduce=False)
+        assert g.number_of_edges() == 2
+        assert all(d["dep"] == "war" for _, _, d in g.edges(data=True))
+        assert schedule_waves(g) == [[0], [1], [2]]
+
+    def test_self_access_makes_no_self_loop(self):
+        g = build_dependency_graph([rec("O", 0, reads=[F0], writes=[F0])],
+                                   reduce=False)
+        assert g.number_of_edges() == 0
+
+
+class TestGoldenKernelCounts:
+    """Pin the Fig. 2 per-coarse-step launch counts (~3x reduction)."""
+
+    SPEC = dict(base=(24, 24), levels=3, widths=[7.0, 2.0])
+
+    def last_step(self, config):
+        bc = DomainBC({"y+": FaceBC("moving", velocity=(0.05, 0.0))})
+        spec = RefinementSpec(self.SPEC["base"],
+                              wall_refinement(self.SPEC["base"],
+                                              self.SPEC["levels"],
+                                              self.SPEC["widths"]), bc=bc)
+        sim = Simulation(spec, "D2Q9", "bgk", viscosity=0.05, config=config)
+        sim.run(2)
+        return sim.runtime.last_step()
+
+    def counts(self, config):
+        from collections import Counter
+        return Counter(f"{r.name}{r.level}" for r in self.last_step(config))
+
+    def test_modified_baseline_composition(self):
+        assert self.counts(MODIFIED_BASELINE) == {
+            "C0": 1, "S0": 1, "O0": 1,
+            "C1": 2, "A1": 2, "E1": 2, "S1": 2, "O1": 2,
+            "C2": 4, "A2": 4, "E2": 4, "S2": 4,
+        }
+
+    def test_fused_full_composition(self):
+        assert self.counts(FUSED_FULL) == {
+            "C0": 1, "SO0": 1,
+            "CA1": 2, "SEO1": 2,
+            "CASE2": 4,
+        }
+
+    def test_fig2_reduction_is_29_to_10(self):
+        n_base = sum(self.counts(MODIFIED_BASELINE).values())
+        n_ours = sum(self.counts(FUSED_FULL).values())
+        assert (n_base, n_ours) == (29, 10)
 
 
 class TestStepGraphs:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.fusion import FUSED_FULL, MODIFIED_BASELINE
+from repro.core.fusion import FUSED_FULL
 from repro.core.simulation import Simulation, mlups
 from repro.grid.geometry import wall_refinement
 from repro.grid.multigrid import DomainBC, FaceBC, RefinementSpec
