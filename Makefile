@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint analysis check
+.PHONY: test lint analysis obs check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,5 +23,10 @@ lint:
 
 analysis:
 	$(PYTHON) -m repro.analysis --all-configs
+
+# Telemetry smoke: trace + metrics artifacts for the Fig. 2 golden cavity.
+obs:
+	$(PYTHON) -m repro.obs --workload cavity2d --config case --out obs-artifacts
+	$(PYTHON) -m repro.obs --workload cavity2d --config baseline --out obs-artifacts
 
 check: lint test analysis

@@ -22,6 +22,7 @@ from conftest import run_once
 from repro.bench.workloads import sphere_tunnel
 from repro.core.simulation import Simulation
 from repro.io.tables import format_table
+from repro.obs import write_bench_json
 
 
 def build(block_size=4, curve="morton"):
@@ -59,6 +60,8 @@ def test_block_size_ablation(benchmark, report):
     # B=8 blocks waste allocation on the curved interface shells
     assert stats[8]["pad"] > stats[4]["pad"]
     benchmark.extra_info["padding"] = {str(b): s["pad"] for b, s in stats.items()}
+    write_bench_json("block_size_ablation",
+                     {"stats": {str(b): s for b, s in stats.items()}})
 
 
 def test_sfc_curve_ablation(benchmark, report):
@@ -103,6 +106,7 @@ def test_sfc_curve_ablation(benchmark, report):
         ["Curve", "Face neighbours within a 64-block window"],
         rows, title="Section V-A ablation: block ordering (32^3 block grid)",
         floatfmt="{:.3f}"))
+    write_bench_json("sfc_curve_ablation", {"window_fraction": scores})
     # curved orders keep neighbouring blocks co-resident far more often
     assert scores["morton"] > scores["sweep"] + 0.1
     assert scores["hilbert"] > scores["sweep"] + 0.1

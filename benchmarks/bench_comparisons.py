@@ -28,6 +28,7 @@ from repro.core.simulation import mlups
 from repro.gpu.costmodel import cost_trace, predicted_mlups
 from repro.gpu.device import A100_40GB
 from repro.io.tables import format_table
+from repro.obs import write_bench_json
 
 #: An unoptimized direct CPU->GPU port: AoS accesses cut the sustained
 #: bandwidth, and a device synchronisation follows every kernel.
@@ -79,6 +80,9 @@ def test_palabos_and_walberla_comparison(benchmark, report):
                                   "voxels; paper: Palabos 2.3 s vs ours 0.015 s, "
                                   "waLBerla O(10) MLUPS vs ours >2250)"))
 
+    write_bench_json("comparisons", {
+        "ours_mlups": ours_full, "naive_port_mlups": naive_full,
+        "cpu_s_per_iter": cpu_s_per_iter, "gpu_s_per_iter": gpu_s_per_iter})
     assert cpu_s_per_iter / gpu_s_per_iter > 100      # two orders of magnitude
     assert ours_full / naive_full > 10                 # order of magnitude
     assert ours_full > 1500                            # paper: >2250 MLUPS
@@ -116,6 +120,8 @@ def test_uniform_vs_refined_time_to_solution(benchmark, report):
                f"time unit: {t_uniform / 1e3:.2f} ms vs {t_refined / 1e3:.2f} ms "
                f"-> refined {ratio:.2f}x faster (paper: 1.18x; the exact factor "
                f"depends on how much volume the fine shells cover)")
+    write_bench_json("uniform_vs_refined", {
+        "t_uniform_us": t_uniform, "t_refined_us": t_refined, "speedup": ratio})
     assert ratio > 1.0          # refined wins...
     assert ratio < 5.0          # ...but not dramatically, as the paper notes
     benchmark.extra_info["speedup"] = ratio

@@ -15,6 +15,7 @@ from repro.gpu.device import A100_40GB
 from repro.gpu.memory import (mc_level_counts, refined_memory_bytes,
                               uniform_aa_max_cube, uniform_memory_bytes)
 from repro.io.tables import format_table
+from repro.obs import write_bench_json
 
 FINEST = (1596, 840, 840)
 
@@ -44,6 +45,12 @@ def test_fig1_memory_capability(benchmark, report):
            f"{uniform_same / 1e9:.0f} GB -> impossible",
            f"largest uniform AA cube (D3Q19 fp32): {aa_cube}^3 "
            f"(paper: ~794^3)")
+
+    write_bench_json("fig1_memory_capability", {
+        "owned_per_level": [int(n) for n in counts["owned"]],
+        "refined_gb": rep.total / 1e9,
+        "uniform_same_gb": uniform_same / 1e9,
+        "uniform_aa_max_cube": int(aa_cube)})
 
     assert rep.fits(A100_40GB)                      # the capability claim
     assert uniform_same > A100_40GB.capacity_bytes  # uniform cannot

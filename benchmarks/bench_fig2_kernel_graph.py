@@ -13,6 +13,7 @@ from repro.core.fusion import FUSED_FULL, MODIFIED_BASELINE
 from repro.core.simulation import Simulation
 from repro.io.tables import format_table
 from repro.neon.graph import build_dependency_graph, graph_stats
+from repro.obs import write_bench_json
 
 
 def trace_one_step(config):
@@ -50,6 +51,9 @@ def test_fig2_kernel_graphs(benchmark, report):
     ko = stats["ours (Fig. 2 bottom)"]["kernels"]
     report(f"kernel reduction: {kb}/{ko} = {kb / ko:.2f}x "
            f"(paper: 'around three times fewer kernels')")
+    write_bench_json("fig2_kernel_graph", {
+        "stats": stats, "kernels_baseline": kb, "kernels_ours": ko,
+        "reduction": kb / ko})
     assert 2.5 <= kb / ko <= 3.5
     assert stats["ours (Fig. 2 bottom)"]["depth"] < \
         stats["baseline (Fig. 2 top)"]["depth"]

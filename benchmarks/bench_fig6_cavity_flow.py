@@ -15,6 +15,7 @@ from repro.bench.workloads import lid_cavity
 from repro.core.simulation import Simulation
 from repro.io.sampling import composite_fields, plane_slice
 from repro.io.tables import format_table
+from repro.obs import write_bench_json
 
 
 def test_fig6_cavity_snapshots(benchmark, report):
@@ -45,6 +46,11 @@ def test_fig6_cavity_snapshots(benchmark, report):
         ["Iteration", "max|u|/u_lid (mid-plane)", "mean|u|/u_lid"],
         rows, title="Fig. 6: cavity spin-up, 3 levels, 64 finest voxels",
         floatfmt="{:.3f}"))
+
+    write_bench_json("fig6_cavity_flow", {
+        "iterations": [it for it, _ in frames],
+        "mean_speed_sq": energies,
+        "max_u_over_lid": [float(np.nanmax(s)) / lid for _, s in frames]})
 
     # the flow spins up monotonically from rest toward the steady vortex
     assert energies[0] < energies[1] < energies[2]

@@ -17,6 +17,7 @@ from repro.bench.workloads import lid_cavity
 from repro.core.simulation import Simulation
 from repro.io.sampling import centerline_profile
 from repro.io.tables import format_table
+from repro.obs import write_bench_json
 from repro.validation import GHIA_RE100_U, GHIA_RE100_V, interp_profile
 
 
@@ -56,6 +57,10 @@ def test_fig7_ghia_validation(benchmark, report):
            f"(48 finest voxels across the box; tightens with resolution)")
     benchmark.extra_info["err_u"] = err_u
     benchmark.extra_info["err_v"] = err_v
+    write_bench_json("fig7_ghia_validation", {
+        "err_u": err_u, "err_v": err_v,
+        "profile_u": [float(v) for v in ug],
+        "profile_v": [float(v) for v in vg]})
     # "well-aligned" at this resolution: within a few percent of u_lid
     assert err_u < 0.10
     assert err_v < 0.05

@@ -14,6 +14,7 @@ from repro.bench.harness import full_scale_mlups, measure
 from repro.bench.workloads import TABLE1_DISTRIBUTIONS, sphere_tunnel
 from repro.core.fusion import ABLATION_CONFIGS
 from repro.io.tables import format_table
+from repro.obs import write_bench_json
 
 
 def test_fig9_fusion_ablation(benchmark, report):
@@ -36,6 +37,11 @@ def test_fig9_fusion_ablation(benchmark, report):
     report("", format_table(
         ["Config", "Kernels/step", "MB/step (scaled)", "MLUPS (272x192x272)"],
         rows, title="Fig. 9: fusion ablation on the A100 cost model"))
+
+    write_bench_json("fig9_fusion_ablation", {
+        "mlups_full_scale": mlups,
+        "measurements": {cfg.name: results[cfg.name].summary()
+                         for cfg in ABLATION_CONFIGS}})
 
     base = mlups["baseline-4b"]
     full = mlups["ours-4f"]

@@ -15,6 +15,7 @@ from repro.bench.workloads import lid_cavity, sphere_tunnel
 from repro.core.simulation import Simulation
 from repro.gpu.memory import ghost_layer_bytes, grid_memory_report
 from repro.io.tables import format_table
+from repro.obs import write_bench_json
 
 
 def test_ghost_layer_memory(benchmark, report):
@@ -47,3 +48,7 @@ def test_ghost_layer_memory(benchmark, report):
         ["Workload", "Ghost 4a (MB)", "Ghost 4b (MB)", "Ghost ratio",
          "Total ratio"],
         rows, title="Section IV-A: ghost-layer memory, original vs optimized"))
+    write_bench_json("ghost_layers", {
+        "rows": [{"workload": r[0], "ghost_original_mb": r[1],
+                  "ghost_optimized_mb": r[2], "ghost_ratio": r[3],
+                  "total_ratio": r[4]} for r in rows]})

@@ -15,6 +15,7 @@ from repro.bench.workloads import TABLE1_DISTRIBUTIONS, sphere_tunnel
 from repro.core.fusion import FUSED_FULL
 from repro.gpu.multigpu import NVLINK3, PCIE4, scaling_curve
 from repro.io.tables import format_table
+from repro.obs import write_bench_json
 
 
 def test_multigpu_scaling_projection(benchmark, report):
@@ -36,6 +37,9 @@ def test_multigpu_scaling_projection(benchmark, report):
         ["GPUs", "NVLink MLUPS", "Speedup", "Efficiency", "PCIe MLUPS",
          "PCIe speedup"],
         table, title="Projected strong scaling, 816x576x816 sphere workload"))
+
+    write_bench_json("multigpu_scaling", {
+        "nvlink": rows_nv, "pcie": rows_pci})
 
     speedups = [r["speedup"] for r in rows_nv]
     assert speedups[1] > 1.6          # 2 GPUs pay off clearly

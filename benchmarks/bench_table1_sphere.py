@@ -17,6 +17,7 @@ from repro.bench.harness import full_scale_mlups, measure
 from repro.bench.workloads import TABLE1_DISTRIBUTIONS, TABLE1_SIZES, sphere_tunnel
 from repro.core.fusion import FUSED_FULL, MODIFIED_BASELINE
 from repro.io.tables import format_table
+from repro.obs import write_bench_json
 
 PAPER = ((483.63, 1081.67), (1115.80, 1646.37), (1299.70, 1805.03))
 
@@ -49,6 +50,10 @@ def test_table1_sphere(benchmark, report):
            f"{mb.wall_mlups:.2f} vs ours {mo.wall_mlups:.2f} NumPy-MLUPS")
 
     benchmark.extra_info["speedups"] = speedups
+    write_bench_json("table1_sphere", {
+        "speedups": speedups,
+        "sizes": ["x".join(map(str, s)) for s in TABLE1_SIZES],
+        "baseline": mb.summary(), "ours": mo.summary()})
     assert all(fo > fb for fo, fb in [(s, 1.0) for s in speedups])
     assert speedups[0] > speedups[-1]          # speedup decays with size
     assert 1.3 <= min(speedups) and max(speedups) <= 2.6
@@ -68,3 +73,6 @@ def test_table1_functional_wallclock(benchmark, report):
     benchmark(step)
     report(f"fused coarse step on {sim.mgrid.active_per_level()} voxels: "
            f"{sim.wallclock_mlups():.2f} NumPy-MLUPS")
+    write_bench_json("table1_functional_wallclock", {
+        "numpy_mlups": sim.wallclock_mlups(),
+        "active_per_level": sim.mgrid.active_per_level()})

@@ -9,7 +9,7 @@ simulated-A100 MLUPS from the cost model over the recorded kernel trace.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.fusion import FusionConfig
 from ..core.simulation import Simulation, mlups
@@ -35,14 +35,34 @@ class Measurement:
     trace: list[KernelRecord]
     cost: TraceCost
     sim_mlups: float
+    #: Metrics-registry snapshot of the measured run (see
+    #: :func:`repro.obs.metrics.run_metrics`); what the benchmarks
+    #: serialize into their ``BENCH_*.json`` artifacts.
+    metrics: dict = field(default_factory=dict)
 
     @property
     def kernels_per_step(self) -> float:
-        return self.cost.kernels / self.steps
+        return self.cost.kernels / self.steps if self.steps else 0.0
 
     @property
     def bytes_per_step(self) -> float:
-        return self.cost.bytes_total / self.steps
+        return self.cost.bytes_total / self.steps if self.steps else 0.0
+
+    def summary(self) -> dict:
+        """JSON-ready digest for the ``BENCH_*.json`` perf trajectory."""
+        return {
+            "workload": self.workload,
+            "config": self.config,
+            "steps": self.steps,
+            "active_per_level": list(self.active_per_level),
+            "wall_seconds": self.wall_seconds,
+            "wall_mlups": self.wall_mlups,
+            "sim_mlups": self.sim_mlups,
+            "kernels_per_step": self.kernels_per_step,
+            "bytes_per_step": self.bytes_per_step,
+            "atomic_bytes": sum(r.atomic_bytes for r in self.trace),
+            "metrics": self.metrics,
+        }
 
 
 def default_concurrency(config: FusionConfig) -> bool:
@@ -72,13 +92,18 @@ def measure(workload: Workload, config: FusionConfig, steps: int = 5,
     kbc = workload.collision.lower() == "kbc"
     cost = cost_trace(records, device, kbc=kbc, concurrent=concurrent)
     active = sim.mgrid.active_per_level()
+    from ..obs.metrics import run_metrics
+    registry = run_metrics(sim)
+    registry.gauge("sim_mlups", "cost-model MLUPS on the target device").set(
+        predicted_mlups(active, n, cost))
     return Measurement(
         workload=workload.name, config=config.name, steps=n,
         active_per_level=active,
         wall_seconds=sim.elapsed,
         wall_mlups=mlups(active, n, sim.elapsed),
         trace=records, cost=cost,
-        sim_mlups=predicted_mlups(active, n, cost))
+        sim_mlups=predicted_mlups(active, n, cost),
+        metrics=registry.as_dict())
 
 
 def full_scale_mlups(m: Measurement, full_counts_finest_first: list[float],

@@ -522,6 +522,40 @@ class Engine:
                        atomic_bytes=atomic,
                        reads=tuple(reads), writes=tuple(writes), fn=body)
 
+    # -- health ------------------------------------------------------------------
+    def health_scan(self):
+        """Yield a per-level numerical-health snapshot (owned cells only).
+
+        Each item carries the rows whose ``f``/``fstar`` populations are
+        non-finite (with one offending value per row, for diagnostics),
+        plus density and velocity magnitude.  Consumed by the
+        observability watchdog (:mod:`repro.obs.watchdog`); kept on the
+        engine because only it knows the buffer/row layout.
+        """
+        for lv, buf in enumerate(self.levels):
+            n = buf.n_owned
+            scan: dict = {}
+            healthy = True
+            for fname in ("f", "fstar"):
+                arr = getattr(buf, fname)[:, :n]
+                finite = np.isfinite(arr)
+                bad = np.nonzero(~finite.all(axis=0))[0]
+                scan[f"nonfinite_{fname}"] = bad
+                if bad.size:
+                    healthy = False
+                    first_q = np.argmax(~finite[:, bad], axis=0)
+                    scan[f"{fname}_values"] = arr[first_q, bad]
+                else:
+                    scan[f"{fname}_values"] = arr[:0, 0]
+            if healthy:
+                rho, u = self.macroscopics(lv)
+                scan["rho"] = rho
+                scan["umag"] = np.sqrt((u * u).sum(axis=0))
+            else:  # moments of non-finite populations are meaningless
+                scan["rho"] = np.empty(0)
+                scan["umag"] = np.empty(0)
+            yield scan
+
     # -- observables -------------------------------------------------------------
     def macroscopics(self, lv: int) -> tuple[np.ndarray, np.ndarray]:
         """Density and velocity of the owned cells of one level.

@@ -115,6 +115,35 @@ class Simulation:
         self.elapsed += dt
         return dt
 
+    # -- observability -----------------------------------------------------------
+    def enable_tracing(self, recorder=None):
+        """Install a wall-clock span recorder on the runtime and return it.
+
+        Spans are opt-in: until this is called the launch hot path pays
+        nothing.  Pass an existing
+        :class:`~repro.obs.spans.SpanRecorder` to share one recorder
+        across simulations; otherwise a fresh one is created.
+        """
+        if recorder is None:
+            from ..obs.spans import SpanRecorder
+            recorder = SpanRecorder()
+        self.engine.rt.spans_install(recorder)
+        return recorder
+
+    def disable_tracing(self) -> None:
+        """Remove the span recorder; the hot path reverts to zero overhead."""
+        self.engine.rt.spans_install(None)
+
+    def watchdog(self, **kwargs):
+        """Build a :class:`~repro.obs.watchdog.HealthWatchdog` for this run.
+
+        ``sim.watchdog(every=5).watch(100)`` runs 100 coarse steps with a
+        health check every 5; see the watchdog module for the envelope
+        parameters.
+        """
+        from ..obs.watchdog import HealthWatchdog
+        return HealthWatchdog(self, **kwargs)
+
     # -- observables ------------------------------------------------------------
     def macroscopics(self, level: int) -> tuple[np.ndarray, np.ndarray]:
         return self.engine.macroscopics(level)

@@ -26,7 +26,8 @@ import networkx as nx
 
 from .runtime import KernelRecord
 
-__all__ = ["build_dependency_graph", "graph_stats", "schedule_waves"]
+__all__ = ["build_dependency_graph", "graph_stats", "schedule_waves",
+           "stream_assignment"]
 
 _ATOMIC = "atomic"
 _META = "meta"
@@ -143,6 +144,21 @@ def schedule_waves(g: nx.DiGraph) -> list[list[int]]:
     for n, dd in depth.items():
         waves.setdefault(dd, []).append(n)
     return [sorted(waves[k]) for k in sorted(waves)]
+
+
+def stream_assignment(g: nx.DiGraph) -> dict[int, tuple[int, int]]:
+    """Map each node to its ``(wave, stream)`` slot in the ASAP schedule.
+
+    Kernels of one wave run concurrently, one per stream; the stream index
+    is stable (position within the sorted wave), so the assignment is the
+    per-stream track layout the timeline exporter renders — the schedule a
+    Neon-style runtime with per-wave synchronisation would issue.
+    """
+    out: dict[int, tuple[int, int]] = {}
+    for w, wave in enumerate(schedule_waves(g)):
+        for s, node in enumerate(wave):
+            out[node] = (w, s)
+    return out
 
 
 def graph_stats(g: nx.DiGraph) -> dict[str, int | float]:

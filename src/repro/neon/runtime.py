@@ -20,6 +20,7 @@ synchronisation depth are derived.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 __all__ = ["FieldRef", "KernelRecord", "Runtime"]
 
@@ -76,11 +77,20 @@ class Runtime:
         self.tracer = None
         #: Observed accesses per record index (populated in capture mode).
         self.captured: dict[int, list] = {}
+        #: Active span recorder (see :mod:`repro.obs.spans`), or ``None``.
+        #: Duck-typed so the runtime never imports the observability layer:
+        #: ``on_launch(index, record, start, duration)`` after every launch,
+        #: ``on_step(step_index, start_record, end_record)`` at each coarse-
+        #: step marker, ``on_reset()`` on :meth:`reset`.  Spans are opt-in
+        #: and, when absent, the hot path pays a single ``None`` test.
+        self.spans = None
 
     def launch(self, name: str, level: int, *, n_cells: int,
                bytes_read: int, bytes_written: int,
                reads: tuple[FieldRef, ...] = (), writes: tuple[FieldRef, ...] = (),
                atomic_bytes: int = 0, tag: str = "", fn=None) -> None:
+        spans = self.spans
+        t0 = perf_counter() if spans is not None else 0.0
         if self.tracer is not None:
             self.tracer.begin_launch()
             try:
@@ -90,20 +100,38 @@ class Runtime:
                 self.captured[len(self.records)] = self.tracer.end_launch()
         elif fn is not None:
             fn()
-        self.records.append(KernelRecord(
+        rec = KernelRecord(
             name=name, level=level, n_cells=int(n_cells),
             bytes_read=int(bytes_read), bytes_written=int(bytes_written),
             reads=tuple(reads), writes=tuple(writes),
-            atomic_bytes=int(atomic_bytes), tag=tag))
+            atomic_bytes=int(atomic_bytes), tag=tag)
+        self.records.append(rec)
+        if spans is not None:
+            spans.on_launch(len(self.records) - 1, rec, t0, perf_counter() - t0)
 
     def step_marker(self) -> None:
         """Mark the end of one coarse time step in the trace."""
+        start = self.markers[-1] if self.markers else 0
         self.markers.append(len(self.records))
+        if self.spans is not None:
+            self.spans.on_step(len(self.markers) - 1, start, len(self.records))
 
     def reset(self) -> None:
         self.records.clear()
         self.markers.clear()
         self.captured.clear()
+        if self.spans is not None:
+            self.spans.on_reset()
+
+    # -- span hooks ----------------------------------------------------------
+    def spans_install(self, recorder) -> None:
+        """Install (or, with ``None``, remove) a span recorder.
+
+        The recorder receives wall-clock start/duration for every launch
+        from now on; it observes timing only and cannot perturb declared
+        reads/writes, traffic accounting or the functional result.
+        """
+        self.spans = recorder
 
     # -- access capture ------------------------------------------------------
     def capture_start(self) -> None:

@@ -1,0 +1,30 @@
+"""Observability layer: span tracing, timeline export, metrics, watchdog.
+
+Built on the runtime's launch trace (DESIGN.md §9):
+
+* :mod:`repro.obs.spans` — wall-clock spans per kernel launch, nested
+  under per-coarse-step and per-level parents;
+* :mod:`repro.obs.trace` — Chrome-trace-event / Perfetto JSON export,
+  one track per concurrency stream plus the cost-model-predicted
+  schedule;
+* :mod:`repro.obs.metrics` — counter/gauge/histogram registry with
+  periodic snapshots and the ``BENCH_*.json`` writers;
+* :mod:`repro.obs.watchdog` — numerical-health monitor raising a
+  structured :class:`~repro.obs.watchdog.SimulationDiverged`;
+* ``python -m repro.obs`` (:mod:`repro.obs.cli`) — run a workload under
+  full telemetry and emit the trace + metrics artifacts.
+"""
+
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, run_metrics,
+                      write_bench_json)
+from .spans import KernelSpan, LevelRun, SpanRecorder, StepSpan
+from .trace import chrome_trace, validate_trace, write_chrome_trace
+from .watchdog import CS_LATTICE, HealthWatchdog, SimulationDiverged
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "run_metrics",
+    "write_bench_json",
+    "KernelSpan", "LevelRun", "SpanRecorder", "StepSpan",
+    "chrome_trace", "validate_trace", "write_chrome_trace",
+    "CS_LATTICE", "HealthWatchdog", "SimulationDiverged",
+]

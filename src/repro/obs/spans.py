@@ -1,0 +1,175 @@
+"""Wall-clock span tree over the runtime's kernel trace.
+
+A :class:`SpanRecorder` plugs into :attr:`repro.neon.runtime.Runtime.spans`
+(see :meth:`~repro.neon.runtime.Runtime.spans_install`) and receives the
+wall-clock start/duration of every kernel launch alongside the
+:class:`~repro.neon.runtime.KernelRecord` the runtime appends anyway.
+Recording is strictly observational: the recorder never sees — let alone
+touches — declared reads/writes or byte counts, so capture, the
+declaration verifier and the race detector behave identically with spans
+on or off.
+
+The raw events are organised into a three-deep span tree:
+
+* **step spans** — one per coarse time step (`step_marker`);
+* **level runs** — maximal runs of consecutive same-level kernels inside
+  a step (Algorithm 1 interleaves levels; a run is one visit);
+* **kernel spans** — one per launch, pointing at its record index.
+
+Timestamps are microseconds relative to the first observed event, the
+unit the Chrome-trace/Perfetto exporter (:mod:`repro.obs.trace`) emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..neon.runtime import KernelRecord
+
+__all__ = ["KernelSpan", "StepSpan", "LevelRun", "SpanRecorder"]
+
+
+@dataclass(frozen=True)
+class KernelSpan:
+    """One kernel launch: trace index, identity and wall-clock interval."""
+
+    index: int                 # position in Runtime.records
+    record: KernelRecord
+    start_us: float            # relative to the recorder's origin
+    dur_us: float
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.dur_us
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view (used by the watchdog's diagnostic dump)."""
+        return {
+            "index": self.index,
+            "name": self.record.name,
+            "level": self.record.level,
+            "n_cells": self.record.n_cells,
+            "bytes": self.record.bytes_total,
+            "start_us": round(self.start_us, 3),
+            "dur_us": round(self.dur_us, 3),
+        }
+
+
+@dataclass(frozen=True)
+class StepSpan:
+    """One coarse time step: record range and bounding interval."""
+
+    step: int
+    start_record: int
+    end_record: int            # half-open
+    start_us: float
+    end_us: float
+
+    @property
+    def dur_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass(frozen=True)
+class LevelRun:
+    """A maximal run of consecutive same-level kernels within one step."""
+
+    step: int
+    level: int
+    start_record: int
+    end_record: int            # half-open
+    start_us: float
+    end_us: float
+
+    @property
+    def dur_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+class SpanRecorder:
+    """Collects kernel/step spans from a :class:`~repro.neon.runtime.Runtime`.
+
+    Install with :meth:`install` (or pass to ``Runtime.spans_install``);
+    the runtime then reports every launch and step marker here.  All
+    timestamps are rebased to the first event so exported traces start
+    near zero.
+    """
+
+    def __init__(self) -> None:
+        self.kernel_spans: list[KernelSpan] = []
+        self.step_spans: list[StepSpan] = []
+        self._origin: float | None = None
+
+    # -- installation --------------------------------------------------------
+    def install(self, runtime) -> "SpanRecorder":
+        """Attach to ``runtime`` and return self (chaining convenience)."""
+        runtime.spans_install(self)
+        return self
+
+    # -- Runtime hook protocol ----------------------------------------------
+    def on_launch(self, index: int, record: KernelRecord,
+                  start: float, duration: float) -> None:
+        if self._origin is None:
+            self._origin = start
+        self.kernel_spans.append(KernelSpan(
+            index=index, record=record,
+            start_us=(start - self._origin) * 1e6,
+            dur_us=duration * 1e6))
+
+    def on_step(self, step_index: int, start_record: int,
+                end_record: int) -> None:
+        inside = [s for s in self.kernel_spans
+                  if start_record <= s.index < end_record]
+        if inside:
+            t0, t1 = inside[0].start_us, max(s.end_us for s in inside)
+        else:  # an empty step still gets a (zero-length) span
+            t0 = t1 = self.step_spans[-1].end_us if self.step_spans else 0.0
+        self.step_spans.append(StepSpan(
+            step=step_index, start_record=start_record,
+            end_record=end_record, start_us=t0, end_us=t1))
+
+    def on_reset(self) -> None:
+        self.kernel_spans.clear()
+        self.step_spans.clear()
+        self._origin = None
+
+    # -- derived structure ---------------------------------------------------
+    def level_runs(self) -> list[LevelRun]:
+        """Per-step maximal same-level runs (the mid-tier of the tree)."""
+        runs: list[LevelRun] = []
+        for step in self.step_spans:
+            group: list[KernelSpan] = []
+            spans = [s for s in self.kernel_spans
+                     if step.start_record <= s.index < step.end_record]
+            for s in spans:
+                if group and s.record.level != group[-1].record.level:
+                    runs.append(self._close_run(step.step, group))
+                    group = []
+                group.append(s)
+            if group:
+                runs.append(self._close_run(step.step, group))
+        return runs
+
+    @staticmethod
+    def _close_run(step: int, group: list[KernelSpan]) -> LevelRun:
+        return LevelRun(
+            step=step, level=group[0].record.level,
+            start_record=group[0].index, end_record=group[-1].index + 1,
+            start_us=group[0].start_us,
+            end_us=max(s.end_us for s in group))
+
+    # -- queries -------------------------------------------------------------
+    def last(self, n: int) -> list[KernelSpan]:
+        """The most recent ``n`` kernel spans (diagnostic dumps)."""
+        return self.kernel_spans[-n:] if n > 0 else []
+
+    def spans_for_step(self, step: int) -> list[KernelSpan]:
+        ss = self.step_spans[step]
+        return [s for s in self.kernel_spans
+                if ss.start_record <= s.index < ss.end_record]
+
+    def total_us(self) -> float:
+        """Wall time from the first launch to the end of the last one."""
+        if not self.kernel_spans:
+            return 0.0
+        return max(s.end_us for s in self.kernel_spans)
