@@ -1,10 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint analysis obs check
+.PHONY: test test-threaded lint analysis threaded-check obs check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Same tier-1 suite, but every Simulation defaults to the deferred
+# threaded wave executor (bit-identical by contract).
+test-threaded:
+	REPRO_THREADED=1 $(PYTHON) -m pytest -x -q
 
 # ruff and mypy are optional dev tools (pip install -e ".[lint]").
 # Skipping when absent is deliberate: the guard only bypasses the tool
@@ -24,9 +29,14 @@ lint:
 analysis:
 	$(PYTHON) -m repro.analysis --all-configs
 
+# Race-gate every config's captured schedule AND verify the threaded
+# wave executor reproduces serial results bit-for-bit.
+threaded-check:
+	$(PYTHON) -m repro.analysis --all-configs --threaded
+
 # Telemetry smoke: trace + metrics artifacts for the Fig. 2 golden cavity.
 obs:
 	$(PYTHON) -m repro.obs --workload cavity2d --config case --out obs-artifacts
 	$(PYTHON) -m repro.obs --workload cavity2d --config baseline --out obs-artifacts
 
-check: lint test analysis
+check: lint test test-threaded threaded-check

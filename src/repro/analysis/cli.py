@@ -30,7 +30,8 @@ from ..neon.runtime import Runtime
 from .races import detect_races
 from .verify import verify_trace
 
-__all__ = ["ALL_CONFIGS", "lint_config", "main", "small_workloads"]
+__all__ = ["ALL_CONFIGS", "lint_config", "main", "small_workloads",
+           "threaded_check"]
 
 #: Every configuration the linter gates: the Fig. 9 ablation plus the
 #: original (Fig. 4a) baseline.
@@ -87,15 +88,50 @@ def lint_config(config: FusionConfig, workload: str = "cavity2d-2lvl",
     }
 
 
+def threaded_check(config: FusionConfig, workload: str = "cavity2d-2lvl",
+                   steps: int = 2) -> bool:
+    """True when threaded execution is bit-identical to serial.
+
+    Runs the workload twice — immediate mode, then the deferred wave
+    executor with the debug gate *on* (each unique step shape is replayed
+    under capture and race-checked before its first concurrent run) —
+    and compares every level's ``f``/``fstar``/``ghost_acc`` bitwise.
+    """
+    import numpy as np
+
+    wl_kwargs = small_workloads()[workload]
+    wl = lid_cavity(**wl_kwargs)
+
+    def _state(threaded: bool):
+        sim = Simulation(wl.spec, wl.lattice, wl.collision,
+                         viscosity=wl.viscosity, config=config,
+                         threaded=threaded, executor_debug=True)
+        with sim:
+            sim.run(steps)
+            return [(b.f.copy(), b.fstar.copy(), b.ghost_acc.copy())
+                    for b in sim.engine.levels]
+
+    return all(np.array_equal(a, b)
+               for sl, tl in zip(_state(False), _state(True))
+               for a, b in zip(sl, tl))
+
+
 def _run_reports(configs: Sequence[FusionConfig], workloads: Sequence[str],
-                 steps: int) -> list[dict]:
-    return [lint_config(cfg, wl, steps=steps)
-            for cfg in configs for wl in workloads]
+                 steps: int, threaded: bool = False) -> list[dict]:
+    reports = []
+    for cfg in configs:
+        for wl in workloads:
+            rep = lint_config(cfg, wl, steps=steps)
+            if threaded:
+                rep["threaded_identical"] = threaded_check(cfg, wl, steps=steps)
+            reports.append(rep)
+    return reports
 
 
 def _problems(report: dict) -> int:
     return (len(report["findings"]) + len(report["races"])
-            + len(report["refined_races"]) + (0 if report["stable"] else 1))
+            + len(report["refined_races"]) + (0 if report["stable"] else 1)
+            + (0 if report.get("threaded_identical", True) else 1))
 
 
 def _print_text(reports: list[dict], out) -> None:
@@ -115,6 +151,8 @@ def _print_text(reports: list[dict], out) -> None:
             print(f"    race (refined schedule): {r}", file=out)
         if not rep["stable"]:
             print("    simulation diverged (NaN/Inf populations)", file=out)
+        if not rep.get("threaded_identical", True):
+            print("    threaded execution differs from serial", file=out)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -134,6 +172,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="workload(s) to lint on (default: all)")
     parser.add_argument("--steps", type=int, default=2,
                         help="coarse time steps to trace (default 2)")
+    parser.add_argument("--threaded", action="store_true",
+                        help="also verify the threaded wave executor is "
+                             "bit-identical to serial execution")
     parser.add_argument("--json", action="store_true",
                         help="emit a machine-readable JSON report")
     args = parser.parse_args(argv)
@@ -147,7 +188,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         configs = list(ALL_CONFIGS)
     workloads = args.workload or sorted(small_workloads())
 
-    reports = _run_reports(configs, workloads, args.steps)
+    reports = _run_reports(configs, workloads, args.steps,
+                           threaded=args.threaded)
     total = sum(_problems(r) for r in reports)
     if args.json:
         json.dump({"runs": reports, "total_problems": total}, sys.stdout,

@@ -1,11 +1,11 @@
 """Benchmark harness: workloads, measurement, trace extrapolation."""
 
-from .harness import Measurement, full_scale_mlups, measure
+from .harness import Measurement, compare_serial_threaded, full_scale_mlups, measure
 from .model import level_factors, scale_trace
 from .workloads import (TABLE1_DISTRIBUTIONS, TABLE1_SIZES, Workload,
                         airplane_geometry, airplane_tunnel, lid_cavity, sphere_tunnel)
 
-__all__ = ["Measurement", "full_scale_mlups", "measure",
+__all__ = ["Measurement", "compare_serial_threaded", "full_scale_mlups", "measure",
            "level_factors", "scale_trace",
            "TABLE1_DISTRIBUTIONS", "TABLE1_SIZES", "Workload",
            "airplane_geometry", "airplane_tunnel", "lid_cavity", "sphere_tunnel"]

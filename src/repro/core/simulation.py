@@ -12,6 +12,7 @@ where ``V_L`` counts active voxels excluding ghost cells.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -59,6 +60,15 @@ class Simulation:
         Population storage precision: ``numpy.float64`` (default, the
         paper's setting) or ``numpy.float32`` (halves memory and DRAM
         traffic, cf. reduced-precision LBM [9]).
+    threaded:
+        Run kernel bodies with the deferred wave executor (see
+        :mod:`repro.neon.executor`).  Defaults to ``$REPRO_THREADED``
+        (``1``/``true``/``on``/``yes``); results are bit-identical to
+        serial execution.  Use the simulation as a context manager (or
+        call :meth:`close`) so worker threads are released promptly.
+    max_workers / executor_debug:
+        Forwarded to :class:`~repro.neon.executor.WaveExecutor` when
+        ``threaded``; ignored otherwise.
     """
 
     def __init__(self, spec: RefinementSpec, lattice: Lattice | str = "D3Q19",
@@ -66,7 +76,9 @@ class Simulation:
                  viscosity: float | None = None, omega0: float | None = None,
                  config: FusionConfig = FUSED_FULL,
                  runtime: Runtime | None = None, force=None,
-                 dtype=None) -> None:
+                 dtype=None, threaded: bool | None = None,
+                 max_workers: int | None = None,
+                 executor_debug: bool | None = None) -> None:
         if (viscosity is None) == (omega0 is None):
             raise ValueError("specify exactly one of viscosity / omega0")
         lat = get_lattice(lattice) if isinstance(lattice, str) else lattice
@@ -80,6 +92,11 @@ class Simulation:
         self.stepper = NonUniformStepper(self.engine, config)
         self.engine.initialize()
         self.elapsed = 0.0
+        if threaded is None:
+            threaded = os.environ.get("REPRO_THREADED", "").lower() \
+                in ("1", "true", "on", "yes")
+        if threaded:
+            self.enable_threading(max_workers=max_workers, debug=executor_debug)
 
     # -- delegation ------------------------------------------------------------
     @property
@@ -110,10 +127,48 @@ class Simulation:
     def run(self, n_steps: int, callback=None, callback_every: int = 1) -> float:
         """Run ``n_steps`` coarse steps and return the wall-clock seconds."""
         t0 = time.perf_counter()
-        self.stepper.run(n_steps, callback=callback, callback_every=callback_every)
-        dt = time.perf_counter() - t0
-        self.elapsed += dt
+        try:
+            self.stepper.run(n_steps, callback=callback,
+                             callback_every=callback_every)
+        finally:
+            dt = time.perf_counter() - t0
+            self.elapsed += dt
         return dt
+
+    # -- threaded execution ------------------------------------------------------
+    def enable_threading(self, max_workers: int | None = None,
+                         debug: bool | None = None):
+        """Install a :class:`~repro.neon.executor.WaveExecutor` and return it.
+
+        Kernel bodies are captured per coarse step and replayed in
+        dependency waves on a thread pool; results are bit-identical to
+        serial execution (the scheduler uses the declared graph, which
+        the debug gate race-checks before the first replay of each step
+        shape).
+        """
+        from ..neon.executor import WaveExecutor
+        ex = WaveExecutor(max_workers=max_workers, debug=debug)
+        self.engine.rt.executor_install(ex)
+        return ex
+
+    def disable_threading(self) -> None:
+        """Flush pending work, remove the executor and stop its threads."""
+        self.engine.rt.executor_install(None)
+
+    @property
+    def executor(self):
+        """The installed wave executor, or ``None`` in serial mode."""
+        return self.engine.rt.executor
+
+    def close(self) -> None:
+        """Flush deferred work and release executor worker threads."""
+        self.disable_threading()
+
+    def __enter__(self) -> "Simulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- observability -----------------------------------------------------------
     def enable_tracing(self, recorder=None):

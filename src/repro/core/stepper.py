@@ -26,9 +26,20 @@ class NonUniformStepper:
         self.steps_done = 0
 
     def step(self) -> None:
-        """Advance the coarsest level by one time step."""
-        self._advance(0)
-        self.engine.rt.step_marker()
+        """Advance the coarsest level by one time step.
+
+        If a kernel body raises mid-step, the partial step is closed
+        (:meth:`~repro.neon.runtime.Runtime.abort_step`) before the
+        exception propagates, so span trees stay balanced and the trace
+        remains exportable/valid.
+        """
+        rt = self.engine.rt
+        try:
+            self._advance(0)
+            rt.step_marker()
+        except BaseException:
+            rt.abort_step()
+            raise
         self.steps_done += 1
 
     def run(self, n_steps: int, callback=None, callback_every: int = 1) -> None:

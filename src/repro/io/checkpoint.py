@@ -45,6 +45,13 @@ def restore_checkpoint(sim: Simulation, path: str) -> None:
             raise ValueError(f"unsupported checkpoint format {int(data['format'])}")
         if int(data["num_levels"]) != sim.num_levels:
             raise ValueError("level count differs from the checkpoint")
+        ck_shape = tuple(int(x) for x in data["base_shape"])
+        if ck_shape != tuple(sim.mgrid.spec.base_shape):
+            # Cell counts can coincide across different domains (e.g. a
+            # transposed box) — the shape itself must match.
+            raise ValueError(
+                f"base shape differs from the checkpoint: "
+                f"{ck_shape} vs {tuple(sim.mgrid.spec.base_shape)}")
         if str(data["lattice"]) != sim.lattice.name:
             raise ValueError("lattice differs from the checkpoint")
         if data["active_per_level"].tolist() != sim.mgrid.active_per_level():
@@ -56,4 +63,9 @@ def restore_checkpoint(sim: Simulation, path: str) -> None:
             buf.f[:] = f
             buf.fstar[:] = data[f"fstar_{lv}"]
             buf.ghost_acc[:] = data[f"gacc_{lv}"]
-        sim.stepper.steps_done = int(data["steps"])
+        steps = int(data["steps"])
+        sim.stepper.steps_done = steps
+        # Rebase the trace: the restored steps happened outside this
+        # runtime's records, so per-step metrics must not average the new
+        # trace over them (they'd report skewed kernels/bytes per step).
+        sim.runtime.reset(steps_base=steps)

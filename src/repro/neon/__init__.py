@@ -1,7 +1,10 @@
 """Mini-Neon programming-model substrate: runtime, trace, dependency graphs."""
 
-from .graph import build_dependency_graph, graph_stats, schedule_waves
+from .executor import WaveExecutor, WaveRaceError, default_workers
+from .graph import (build_dependency_graph, graph_stats, schedule_records,
+                    schedule_waves)
 from .runtime import FieldRef, KernelRecord, Runtime
 
-__all__ = ["build_dependency_graph", "graph_stats", "schedule_waves",
-           "FieldRef", "KernelRecord", "Runtime"]
+__all__ = ["build_dependency_graph", "graph_stats", "schedule_records",
+           "schedule_waves", "FieldRef", "KernelRecord", "Runtime",
+           "WaveExecutor", "WaveRaceError", "default_workers"]

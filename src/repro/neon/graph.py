@@ -26,8 +26,8 @@ import networkx as nx
 
 from .runtime import KernelRecord
 
-__all__ = ["build_dependency_graph", "graph_stats", "schedule_waves",
-           "stream_assignment"]
+__all__ = ["build_dependency_graph", "graph_stats", "schedule_records",
+           "schedule_waves", "stream_assignment"]
 
 _ATOMIC = "atomic"
 _META = "meta"
@@ -144,6 +144,18 @@ def schedule_waves(g: nx.DiGraph) -> list[list[int]]:
     for n, dd in depth.items():
         waves.setdefault(dd, []).append(n)
     return [sorted(waves[k]) for k in sorted(waves)]
+
+
+def schedule_records(records: list[KernelRecord],
+                     access_map: Mapping[int, Sequence] | None = None,
+                     ) -> list[list[int]]:
+    """Waves of a record list in one call (graph build + ASAP partition).
+
+    The transitive reduction is skipped: redundant edges cannot change
+    ASAP depths, and the executor calls this on every step flush.
+    """
+    return schedule_waves(
+        build_dependency_graph(records, reduce=False, access_map=access_map))
 
 
 def stream_assignment(g: nx.DiGraph) -> dict[int, tuple[int, int]]:

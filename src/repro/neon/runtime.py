@@ -15,6 +15,15 @@ reproduce the parts of that model the paper relies on:
 The *functional* result of a program never depends on the recording; the
 records are a faithful trace from which launch counts, bytes moved and
 synchronisation depth are derived.
+
+With a :class:`~repro.neon.executor.WaveExecutor` installed
+(:meth:`Runtime.executor_install`), ``launch`` switches to a *deferred*
+capture path: the record is appended immediately but the body closure is
+queued, and at every :meth:`step_marker` (or explicit :meth:`flush`) the
+captured step is partitioned into dependency waves and executed
+concurrently — the way Neon issues independent kernels on separate CUDA
+streams.  Results are bit-identical to immediate execution; the fallback
+to immediate mode is automatic while access capture is active.
 """
 
 from __future__ import annotations
@@ -84,11 +93,30 @@ class Runtime:
         #: step marker, ``on_reset()`` on :meth:`reset`.  Spans are opt-in
         #: and, when absent, the hot path pays a single ``None`` test.
         self.spans = None
+        #: Installed :class:`~repro.neon.executor.WaveExecutor`, or ``None``
+        #: (immediate execution).  Duck-typed: ``execute(runtime, pending)``
+        #: and ``shutdown()``.
+        self.executor = None
+        #: Coarse steps completed before the current trace began (synced by
+        #: checkpoint restore / post-warmup :meth:`reset`); per-step metrics
+        #: subtract it so a restored run is not skewed by untraced history.
+        self.steps_base = 0
+        self._pending: list[tuple[int, object]] = []
 
     def launch(self, name: str, level: int, *, n_cells: int,
                bytes_read: int, bytes_written: int,
                reads: tuple[FieldRef, ...] = (), writes: tuple[FieldRef, ...] = (),
                atomic_bytes: int = 0, tag: str = "", fn=None) -> None:
+        if self.executor is not None and self.tracer is None:
+            # Deferred capture: record now, run the body at the next flush.
+            rec = KernelRecord(
+                name=name, level=level, n_cells=int(n_cells),
+                bytes_read=int(bytes_read), bytes_written=int(bytes_written),
+                reads=tuple(reads), writes=tuple(writes),
+                atomic_bytes=int(atomic_bytes), tag=tag)
+            self.records.append(rec)
+            self._pending.append((len(self.records) - 1, fn))
+            return
         spans = self.spans
         t0 = perf_counter() if spans is not None else 0.0
         if self.tracer is not None:
@@ -110,18 +138,99 @@ class Runtime:
             spans.on_launch(len(self.records) - 1, rec, t0, perf_counter() - t0)
 
     def step_marker(self) -> None:
-        """Mark the end of one coarse time step in the trace."""
+        """Mark the end of one coarse time step in the trace.
+
+        In deferred mode this is the step's synchronisation point: every
+        queued body has executed before the marker is placed.
+        """
+        self.flush()
         start = self.markers[-1] if self.markers else 0
         self.markers.append(len(self.records))
         if self.spans is not None:
             self.spans.on_step(len(self.markers) - 1, start, len(self.records))
 
-    def reset(self) -> None:
+    def reset(self, steps_base: int | None = None) -> None:
+        """Clear the trace; ``steps_base`` rebases per-step accounting.
+
+        Pass the driver's current coarse-step count when resetting after
+        a warmup or a checkpoint restore, so metrics over the new trace
+        do not attribute zero-kernel steps to the untraced history.
+        """
+        self.flush()
         self.records.clear()
         self.markers.clear()
         self.captured.clear()
+        if steps_base is not None:
+            self.steps_base = int(steps_base)
         if self.spans is not None:
             self.spans.on_reset()
+
+    # -- deferred execution --------------------------------------------------
+    def flush(self) -> None:
+        """Execute every queued kernel body (no-op in immediate mode).
+
+        With an executor installed the queued step is partitioned into
+        dependency waves and run concurrently; if the executor was
+        removed with bodies still queued they run serially in program
+        order, preserving the exact serial semantics.
+        """
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        if self.executor is not None:
+            self.executor.execute(self, pending)
+        else:
+            self._drain_serial(pending)
+
+    def _drain_serial(self, pending: list[tuple[int, object]]) -> None:
+        spans = self.spans
+        for idx, fn in pending:
+            t0 = perf_counter() if spans is not None else 0.0
+            try:
+                if fn is not None:
+                    fn()
+            except BaseException as exc:
+                rec = self.records[idx]
+                exc.kernel_span = {"index": idx, "name": rec.name,
+                                   "level": rec.level, "n_cells": rec.n_cells,
+                                   "start": t0, "dur_us": 0.0}
+                del self.records[idx:]
+                raise
+            if spans is not None:
+                spans.on_launch(idx, self.records[idx], t0, perf_counter() - t0)
+
+    def abort_step(self) -> None:
+        """Close the current (partial) coarse step after a mid-step failure.
+
+        Queued bodies that never ran are discarded along with their
+        records — keeping them would fabricate trace entries for kernels
+        that never launched.  Whatever *did* execute since the last
+        marker is closed off with a step marker, so span trees stay
+        balanced and per-step trace queries never leak a partial step
+        into the next one.  Idempotent and safe to call in immediate
+        mode.
+        """
+        if self._pending:
+            first = self._pending[0][0]
+            del self.records[first:]
+            self._pending.clear()
+        start = self.markers[-1] if self.markers else 0
+        if len(self.records) > start:
+            self.step_marker()
+
+    def executor_install(self, executor) -> None:
+        """Install (or, with ``None``, remove) a wave executor.
+
+        Pending bodies are flushed under the *previous* mode first, and a
+        replaced executor is shut down — the caller keeps a single clean
+        ownership chain for worker threads.
+        """
+        if self.executor is executor:
+            return
+        self.flush()
+        old, self.executor = self.executor, executor
+        if old is not None:
+            old.shutdown()
 
     # -- span hooks ----------------------------------------------------------
     def spans_install(self, recorder) -> None:
@@ -131,6 +240,7 @@ class Runtime:
         from now on; it observes timing only and cannot perturb declared
         reads/writes, traffic accounting or the functional result.
         """
+        self.flush()  # queued bodies report to the recorder active at enqueue
         self.spans = recorder
 
     # -- access capture ------------------------------------------------------
@@ -141,9 +251,14 @@ class Runtime:
         :class:`~repro.analysis.capture.AccessTracer`; the observed
         accesses land in :attr:`captured`, keyed by record index.  The
         functional result of the program is unaffected.
+
+        Capture takes precedence over deferred execution: while a tracer
+        is installed every launch runs its body immediately (serial
+        fallback), because shadow recording needs launch bracketing.
         """
         if self.tracer is None:
             from ..analysis.capture import AccessTracer
+            self.flush()
             self.tracer = AccessTracer()
 
     def capture_stop(self) -> dict[int, list]:

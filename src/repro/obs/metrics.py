@@ -166,8 +166,11 @@ def run_metrics(sim, registry: MetricsRegistry | None = None,
     reg = registry if registry is not None else MetricsRegistry()
     rt = sim.runtime
     # Steps covered by the *trace*: the runtime may have been reset after
-    # a warmup, in which case steps_done over-counts what was recorded.
-    traced_steps = len(rt.markers) if rt.markers else sim.steps_done
+    # a warmup or checkpoint restore, in which case steps_done counts
+    # coarse steps the trace never saw — subtract the rebased history.
+    base = getattr(rt, "steps_base", 0)
+    traced_steps = len(rt.markers) if rt.markers else \
+        max(sim.steps_done - base, 0)
     steps = max(traced_steps, 1)
     records = rt.records
 
@@ -202,6 +205,38 @@ def run_metrics(sim, registry: MetricsRegistry | None = None,
             per_name.observe(s.dur_us)
         reg.gauge("span_total_us", "wall time covered by spans (us)").set(
             recorder.total_us())
+        occ = recorder.observed_occupancy()
+        reg.gauge("observed_max_concurrency",
+                  "peak overlapping kernel spans").set(occ["max_concurrent"])
+        reg.gauge("observed_mean_concurrency",
+                  "time-weighted mean overlapping kernel spans").set(
+            occ["mean_concurrent"])
+    executor = getattr(rt, "executor", None)
+    if executor is not None and getattr(executor, "stats", None):
+        wave_ms = reg.histogram("wave_exec_ms",
+                                "wall time per dependency wave (ms)")
+        util: list[float] = []
+        threaded_flushes = 0
+        for st in executor.stats:
+            for w in st.get("wave_ms", ()):
+                wave_ms.observe(w)
+            if st.get("mode") == "threaded":
+                threaded_flushes += 1
+                wall, workers = st.get("wall_ms", 0.0), st.get("workers", 1)
+                if wall > 0 and workers:
+                    util.append(st.get("busy_ms", 0.0) / (wall * workers))
+        reg.counter("executor_flushes", "deferred-step flushes").value = \
+            float(len(executor.stats))
+        reg.counter("executor_threaded_flushes",
+                    "flushes executed on the thread pool").value = \
+            float(threaded_flushes)
+        reg.gauge("executor_workers", "wave-executor thread-pool width").set(
+            executor.max_workers)
+        if util:
+            reg.gauge(
+                "thread_utilisation",
+                "mean busy-time share of the pool during threaded flushes",
+            ).set(sum(util) / len(util))
     return reg
 
 

@@ -173,3 +173,34 @@ class SpanRecorder:
         if not self.kernel_spans:
             return 0.0
         return max(s.end_us for s in self.kernel_spans)
+
+    def observed_occupancy(self, step: int | None = None) -> dict:
+        """Measured kernel-span overlap — the host analogue of per-stream
+        occupancy.
+
+        Serial execution yields ``max_concurrent == 1``; under the
+        threaded wave executor genuinely overlapping bodies raise it up
+        to the wave width, which is what the Perfetto export renders
+        next to the predicted stream tracks.  ``mean_concurrent`` is the
+        time-weighted average over the spanned interval.
+        """
+        spans = (self.kernel_spans if step is None
+                 else self.spans_for_step(step))
+        if not spans:
+            return {"max_concurrent": 0, "mean_concurrent": 0.0,
+                    "busy_us": 0.0, "span_us": 0.0}
+        edges = sorted([(s.start_us, 1) for s in spans] +
+                       [(s.end_us, -1) for s in spans])
+        cur = peak = 0
+        busy_weighted, prev = 0.0, edges[0][0]
+        for t, d in edges:
+            busy_weighted += cur * (t - prev)
+            prev = t
+            cur += d
+            peak = max(peak, cur)
+        span_us = max(s.end_us for s in spans) - min(s.start_us for s in spans)
+        return {"max_concurrent": peak,
+                "mean_concurrent": (busy_weighted / span_us) if span_us > 0
+                else float(peak),
+                "busy_us": sum(s.dur_us for s in spans),
+                "span_us": span_us}

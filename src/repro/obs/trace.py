@@ -135,7 +135,10 @@ def chrome_trace(recorder: SpanRecorder, *, device: DeviceSpec = A100_40GB,
     return {"traceEvents": events, "displayTimeUnit": "ms",
             "otherData": {"generator": "repro.obs",
                           "device": device.name,
-                          "kernel_slices": len(recorder.kernel_spans)}}
+                          "kernel_slices": len(recorder.kernel_spans),
+                          # Observed overlap of the wall-clock slices —
+                          # 1.0 serial, up to the wave width threaded.
+                          "occupancy": recorder.observed_occupancy()}}
 
 
 def write_chrome_trace(path: str, recorder: SpanRecorder, *,

@@ -175,3 +175,35 @@ class TestCheckpoint:
         b = Simulation(spec, "D3Q27", "bgk", viscosity=0.03)
         with pytest.raises(ValueError, match="lattice"):
             restore_checkpoint(b, path)
+
+    def test_base_shape_validation(self, tmp_path):
+        # A transposed domain has identical per-level cell counts and
+        # buffer shapes, so it used to restore silently — the stored
+        # base_shape must be checked, not just the derived censuses.
+        path = str(tmp_path / "ck.npz")
+        a = Simulation(RefinementSpec((8, 12)), "D2Q9", "bgk", viscosity=0.05)
+        a.run(2)
+        save_checkpoint(a, path)
+        b = Simulation(RefinementSpec((12, 8)), "D2Q9", "bgk", viscosity=0.05)
+        assert b.mgrid.active_per_level() == a.mgrid.active_per_level()
+        with pytest.raises(ValueError, match="base shape"):
+            restore_checkpoint(b, path)
+
+    def test_restore_rebases_metrics(self, tmp_path):
+        from repro.obs.metrics import run_metrics
+
+        path = str(tmp_path / "ck.npz")
+        a = self.make()
+        a.run(4)
+        save_checkpoint(a, path)
+
+        b = self.make()
+        restore_checkpoint(b, path)
+        # The 4 restored steps happened outside this runtime's trace:
+        # metrics must report 0 traced steps, not inherit steps_done.
+        reg = run_metrics(b)
+        assert reg["steps_total"].value == 0
+        assert b.runtime.steps_base == 4
+        b.run(3)
+        reg = run_metrics(b)
+        assert reg["steps_total"].value == 3
