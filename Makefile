@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-threaded lint analysis threaded-check obs check
+.PHONY: test test-threaded lint analysis threaded-check obs resilience-check check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -39,4 +39,10 @@ obs:
 	$(PYTHON) -m repro.obs --workload cavity2d --config case --out obs-artifacts
 	$(PYTHON) -m repro.obs --workload cavity2d --config baseline --out obs-artifacts
 
-check: lint test test-threaded threaded-check
+# Fault matrix: inject NaN / kernel / OOM faults into every fusion
+# config, serial and threaded, and require bit-identical recovery plus
+# visible telemetry (retries_total, rollback events).  Exit status gates.
+resilience-check:
+	$(PYTHON) -m repro.resilience --out resilience-artifacts
+
+check: lint test test-threaded threaded-check resilience-check

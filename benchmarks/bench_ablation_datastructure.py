@@ -28,7 +28,7 @@ from repro.obs import write_bench_json
 def build(block_size=4, curve="morton"):
     wl = sphere_tunnel(scale=0.125)
     spec = dataclasses.replace(wl.spec, block_size=block_size, curve=curve)
-    sim = Simulation(spec, wl.lattice, wl.collision, viscosity=wl.viscosity)
+    sim = Simulation.from_config(spec, wl.sim_config())
     return sim.mgrid
 
 

@@ -19,8 +19,7 @@ from repro.obs import write_bench_json
 def trace_one_step(config):
     # the schedule/DAG is dimension-independent; 2-D keeps the bench fast
     wl = lid_cavity(base=(24, 24), num_levels=3, lattice="D2Q9")
-    sim = Simulation(wl.spec, wl.lattice, wl.collision, viscosity=wl.viscosity,
-                     config=config)
+    sim = Simulation.from_config(wl.spec, wl.sim_config(fusion=config))
     sim.run(2)  # second step gives the steady-state schedule
     return sim.runtime.last_step()
 

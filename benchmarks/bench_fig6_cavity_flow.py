@@ -24,8 +24,7 @@ def test_fig6_cavity_snapshots(benchmark, report):
                     lid_speed=lid, lattice="D3Q19", collision="bgk")
 
     def run():
-        sim = Simulation(wl.spec, wl.lattice, wl.collision,
-                         viscosity=wl.viscosity)
+        sim = Simulation.from_config(wl.spec, wl.sim_config())
         frames = []
         for target in (10, 40, 120):
             sim.run(target - (frames[-1][0] if frames else 0))

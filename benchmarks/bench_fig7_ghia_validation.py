@@ -27,8 +27,7 @@ def test_fig7_ghia_validation(benchmark, report):
                     lid_speed=lid, lattice="D2Q9")
 
     def run():
-        sim = Simulation(wl.spec, wl.lattice, wl.collision,
-                         viscosity=wl.viscosity)
+        sim = Simulation.from_config(wl.spec, wl.sim_config())
         sim.run(1500)
         return sim
 

@@ -26,8 +26,7 @@ def test_ghost_layer_memory(benchmark, report):
     def run():
         out = []
         for wl in workloads:
-            sim = Simulation(wl.spec, wl.lattice, wl.collision,
-                             viscosity=wl.viscosity)
+            sim = Simulation.from_config(wl.spec, wl.sim_config())
             out.append((wl.name, sim.mgrid))
         return out
 

@@ -63,8 +63,7 @@ def test_table1_functional_wallclock(benchmark, report):
     """The same comparison in honest NumPy wall-clock (fewer passes win too)."""
     wl = sphere_tunnel(scale=0.125)
     from repro.core.simulation import Simulation
-    sim = Simulation(wl.spec, wl.lattice, wl.collision, viscosity=wl.viscosity,
-                     config=FUSED_FULL)
+    sim = Simulation.from_config(wl.spec, wl.sim_config(fusion=FUSED_FULL))
     sim.run(1)  # warmup
 
     def step():

@@ -22,8 +22,8 @@ import argparse
 
 import numpy as np
 
-from repro import (DomainBC, FaceBC, RefinementSpec, Simulation, regrid,
-                   vorticity_indicator)
+from repro import (DomainBC, FaceBC, RefinementSpec, SimConfig, Simulation,
+                   regrid, vorticity_indicator)
 from repro.validation.analytic import taylor_green_2d
 
 
@@ -43,7 +43,7 @@ def main() -> None:
     region = np.zeros((L, L), dtype=bool)
     region[2:L // 3, 2:L // 3] = True
     spec = RefinementSpec((L, L), [region], bc=bc)
-    sim = Simulation(spec, "D2Q9", "bgk", viscosity=nu)
+    sim = Simulation.from_config(spec, SimConfig(lattice="D2Q9", viscosity=nu))
 
     def initial_u(centers):
         # one vortex quarter-wavelength cell, plus a uniform drift along +x

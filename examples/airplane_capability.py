@@ -52,7 +52,7 @@ print(f"largest uniform AA cube on 40 GB (D3Q19/fp32, paper's bound): "
 # -- 2. small functional instance of the same workload ----------------------------
 print("\nrunning a scaled functional instance (scale = 0.06) ...")
 wl = airplane_tunnel(finest_shape=FINEST, scale=0.06, num_levels=3)
-sim = Simulation(wl.spec, wl.lattice, wl.collision, viscosity=wl.viscosity)
+sim = Simulation.from_config(wl.spec, wl.sim_config())
 print(f"base {wl.spec.base_shape}, active voxels {sim.mgrid.active_per_level()}")
 sim.run(8)
 print(f"8 coarse steps: stable={sim.is_stable()}, "

@@ -39,7 +39,7 @@ def main() -> None:
     lid = 0.1
     wl = lid_cavity(base=base, num_levels=args.levels, reynolds=100.0,
                     lid_speed=lid, lattice="D3Q19" if args.three_d else "D2Q9")
-    sim = Simulation(wl.spec, wl.lattice, wl.collision, viscosity=wl.viscosity)
+    sim = Simulation.from_config(wl.spec, wl.sim_config())
     print(f"cavity: {d}-D, {args.levels} levels, finest {wl.finest_shape()}, "
           f"Re=100, active voxels {sim.mgrid.active_per_level()}")
 

@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro import (FUSED_FULL, MODIFIED_BASELINE, DomainBC, FaceBC,
-                   RefinementSpec, Simulation, wall_refinement)
+                   RefinementSpec, SimConfig, Simulation, wall_refinement)
 
 # -- 1. describe the domain ---------------------------------------------------
 # A 24^3 coarse box, refined twice near the walls: the finest level spans
@@ -25,8 +25,9 @@ spec = RefinementSpec(
 
 # -- 2. build and run the simulation ------------------------------------------
 nu = 0.06 * base[0] / 100.0  # Re = u_lid * L / nu = 100
-sim = Simulation(spec, lattice="D3Q19", collision="bgk",
-                 viscosity=nu, config=FUSED_FULL)
+cfg = SimConfig(lattice="D3Q19", collision="bgk", viscosity=nu,
+                fusion=FUSED_FULL)
+sim = Simulation.from_config(spec, cfg)
 print(f"levels: {sim.num_levels}, active voxels per level: "
       f"{sim.mgrid.active_per_level()}")
 
@@ -41,8 +42,7 @@ print(f"finest level: {rho.size} cells, "
       f"mean density {rho.mean():.6f}, max speed {np.sqrt((u*u).sum(0)).max():.4f}")
 
 # -- 4. what did fusion buy? ---------------------------------------------------
-base_sim = Simulation(spec, "D3Q19", "bgk", viscosity=nu,
-                      config=MODIFIED_BASELINE)
+base_sim = Simulation.from_config(spec, cfg.replace(fusion=MODIFIED_BASELINE))
 base_sim.run(1)
 sim.runtime.reset()
 sim.run(1)

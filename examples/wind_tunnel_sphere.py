@@ -31,8 +31,7 @@ def main() -> None:
     args = ap.parse_args()
 
     wl = sphere_tunnel(scale=args.scale)
-    sim = Simulation(wl.spec, wl.lattice, wl.collision, viscosity=wl.viscosity,
-                     config=FUSED_FULL)
+    sim = Simulation.from_config(wl.spec, wl.sim_config(fusion=FUSED_FULL))
     print(f"tunnel {wl.spec.base_shape} (coarse), 3 levels, "
           f"active voxels {sim.mgrid.active_per_level()}, "
           f"KBC/D3Q27, Re={wl.reynolds:g}")

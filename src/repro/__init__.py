@@ -9,12 +9,12 @@ for the GPU hardware.
 
 Quickstart::
 
-    from repro import Simulation, RefinementSpec, wall_refinement, FUSED_FULL
+    from repro import SimConfig, Simulation, RefinementSpec, wall_refinement
 
     spec = RefinementSpec(base_shape=(24, 24, 24),
                           refine_regions=wall_refinement((24, 24, 24), 2, [4.0]))
-    sim = Simulation(spec, lattice="D3Q19", collision="bgk",
-                     viscosity=0.05, config=FUSED_FULL)
+    sim = Simulation.from_config(spec, SimConfig(lattice="D3Q19",
+                                                 viscosity=0.05))
     sim.run(100)
 """
 
@@ -22,8 +22,8 @@ from .core import (ABLATION_CONFIGS, BGK, D2Q9, D3Q19, D3Q27, FUSED_FULL, KBC, T
                    drag_coefficient, kinetic_energy, legalize_regions, regrid,
                    solid_force, vorticity_indicator,
                    MODIFIED_BASELINE, ORIGINAL_BASELINE, Engine, FlowScales,
-                   FusionConfig, Lattice, NonUniformStepper, Simulation,
-                   get_config, get_lattice, mlups, omega_at_level,
+                   FusionConfig, Lattice, NonUniformStepper, SimConfig,
+                   Simulation, get_config, get_lattice, mlups, omega_at_level,
                    omega_from_viscosity)
 from .grid import (AirplaneProxy, BlockSparseGrid, Box, DomainBC, Ellipsoid, FaceBC,
                    MultiGrid, RefinementSpec, Shape, Sphere, build_multigrid,
@@ -35,7 +35,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ABLATION_CONFIGS", "BGK", "D2Q9", "D3Q19", "D3Q27", "FUSED_FULL", "KBC", "TRT",
     "MODIFIED_BASELINE", "ORIGINAL_BASELINE", "Engine", "FlowScales",
-    "FusionConfig", "Lattice", "NonUniformStepper", "Simulation",
+    "FusionConfig", "Lattice", "NonUniformStepper", "SimConfig", "Simulation",
     "get_config", "get_lattice", "mlups", "omega_at_level", "omega_from_viscosity",
     "AirplaneProxy", "BlockSparseGrid", "Box", "DomainBC", "Ellipsoid", "FaceBC",
     "MultiGrid", "RefinementSpec", "Shape", "Sphere", "build_multigrid",

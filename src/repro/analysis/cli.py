@@ -58,8 +58,8 @@ def lint_config(config: FusionConfig, workload: str = "cavity2d-2lvl",
     wl = lid_cavity(**wl_kwargs)
     rt = Runtime()
     rt.capture_start()
-    sim = Simulation(wl.spec, wl.lattice, wl.collision,
-                     viscosity=wl.viscosity, config=config, runtime=rt)
+    sim = Simulation.from_config(wl.spec, wl.sim_config(fusion=config),
+                                 runtime=rt)
     sim.run(steps)
     captured = rt.capture_stop()
     records = rt.records
@@ -103,9 +103,9 @@ def threaded_check(config: FusionConfig, workload: str = "cavity2d-2lvl",
     wl = lid_cavity(**wl_kwargs)
 
     def _state(threaded: bool):
-        sim = Simulation(wl.spec, wl.lattice, wl.collision,
-                         viscosity=wl.viscosity, config=config,
-                         threaded=threaded, executor_debug=True)
+        sim = Simulation.from_config(
+            wl.spec, wl.sim_config(fusion=config, threaded=threaded,
+                                   executor_debug=True))
         with sim:
             sim.run(steps)
             return [(b.f.copy(), b.fstar.copy(), b.ghost_acc.copy())

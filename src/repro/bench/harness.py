@@ -80,8 +80,8 @@ def measure(workload: Workload, config: FusionConfig, steps: int = 5,
     """Run ``steps`` coarse steps and cost the recorded trace on ``device``."""
     if concurrent is None:
         concurrent = default_concurrency(config)
-    sim = Simulation(workload.spec, workload.lattice, workload.collision,
-                     viscosity=workload.viscosity, config=config)
+    sim = Simulation.from_config(workload.spec,
+                                 workload.sim_config(fusion=config))
     if warmup:
         sim.run(warmup)
     sim.runtime.reset(steps_base=sim.steps_done)
@@ -125,10 +125,11 @@ def compare_serial_threaded(workload: Workload, config: FusionConfig,
     import numpy as np
 
     def _one(threaded: bool):
-        sim = Simulation(workload.spec, workload.lattice, workload.collision,
-                         viscosity=workload.viscosity, config=config,
-                         threaded=threaded, max_workers=max_workers,
-                         executor_debug=False)
+        sim = Simulation.from_config(
+            workload.spec,
+            workload.sim_config(fusion=config, threaded=threaded,
+                                max_workers=max_workers,
+                                executor_debug=False))
         with sim:
             if warmup:
                 sim.run(warmup)

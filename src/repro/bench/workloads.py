@@ -45,6 +45,17 @@ class Workload:
     def finest_shape(self) -> tuple[int, ...]:
         return self.spec.level_shape(self.spec.num_levels - 1)
 
+    def sim_config(self, **overrides):
+        """The workload's physics as a :class:`~repro.core.config.SimConfig`.
+
+        ``overrides`` (fusion, threaded, dtype, ...) are folded in, so
+        ``Simulation.from_config(wl.spec, wl.sim_config(fusion=cfg))`` is
+        the one-line way to instantiate any benchmark setup.
+        """
+        from ..core.config import SimConfig
+        return SimConfig(lattice=self.lattice, collision=self.collision,
+                         viscosity=self.viscosity, **overrides)
+
 
 def lid_cavity(base: tuple[int, ...] = (24, 24, 24), num_levels: int = 3,
                reynolds: float = 100.0, lid_speed: float = 0.06,

@@ -3,6 +3,7 @@
 from .amr import legalize_regions, regrid, vorticity_indicator
 from .collision import (BGK, KBC, TRT, CollisionModel, equilibrium, guo_source,
                         macroscopics, make_collision)
+from .config import SimConfig
 from .diagnostics import (drag_coefficient, enstrophy_2d, kinetic_energy,
                           solid_force)
 from .engine import Engine
@@ -20,7 +21,7 @@ __all__ = [
     "BGK", "KBC", "TRT", "CollisionModel", "equilibrium", "guo_source",
     "macroscopics", "make_collision",
     "drag_coefficient", "enstrophy_2d", "kinetic_energy", "solid_force",
-    "Engine", "NonUniformStepper", "Simulation", "mlups",
+    "Engine", "NonUniformStepper", "SimConfig", "Simulation", "mlups",
     "ABLATION_CONFIGS", "FUSE_CA", "FUSE_CA_SE_SO", "FUSE_SE", "FUSE_SO",
     "FUSED_FULL", "MODIFIED_BASELINE", "ORIGINAL_BASELINE", "FusionConfig",
     "get_config",

@@ -129,11 +129,9 @@ def regrid(sim: Simulation, desired_finest: np.ndarray | None = None,
         solid=old_spec.solid, bc=old_spec.bc,
         block_size=old_spec.block_size, curve=old_spec.curve)
 
-    coarse_force = None if sim.engine.force[0] is None else tuple(sim.engine.force[0])
-    new_sim = Simulation(new_spec, sim.lattice, sim.engine.collision,
-                         omega0=sim.engine.omega[0],
-                         config=sim.stepper.config,
-                         dtype=sim.engine.dtype, force=coarse_force)
+    # The old simulation's SimConfig carries collision/relaxation/fusion/
+    # dtype/force verbatim; only the domain (the spec) changes.
+    new_sim = Simulation.from_config(new_spec, sim.sim_config)
 
     rho_f, u_f = composite_fields(sim)
     rho_f = np.nan_to_num(rho_f, nan=1.0)

@@ -1,0 +1,119 @@
+"""Typed simulation configuration — the one object that fully describes a run.
+
+:class:`~repro.core.simulation.Simulation` grew its construction surface
+one keyword at a time (lattice, collision, viscosity/omega0, fusion
+config, force, dtype, threaded, max_workers, executor_debug, …), which
+made call sites hard to audit and impossible to serialize.  ``SimConfig``
+consolidates all of it into a single frozen dataclass:
+
+* **validated once**, at construction (exactly one of viscosity/omega0,
+  known fusion preset, well-formed dtype);
+* **immutable and comparable** — two simulations built from equal
+  configs are bit-identical by the engine's determinism guarantees;
+* **replaceable** — :meth:`SimConfig.replace` derives safety profiles
+  (the resilience ladder's ``threaded=False`` / reduced-ω rebuilds)
+  without mutating the original;
+* **serializable** — :meth:`SimConfig.as_dict` feeds checkpoint
+  manifests and structured reports.
+
+Construct simulations with ``Simulation.from_config(spec, config)``; the
+legacy keyword form still works behind a one-time deprecation warning.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from .fusion import FUSED_FULL, FusionConfig, get_config
+
+__all__ = ["SimConfig"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Everything a :class:`~repro.core.simulation.Simulation` needs
+    besides the domain itself (the :class:`~repro.grid.multigrid.RefinementSpec`).
+
+    Attributes
+    ----------
+    lattice:
+        Descriptor name (``"D2Q9"``, ``"D3Q19"``, ``"D3Q27"``) or a
+        :class:`~repro.core.lattice.Lattice` instance.
+    collision:
+        ``"bgk"``, ``"kbc"``, ``"trt"`` or a
+        :class:`~repro.core.collision.CollisionModel`.
+    viscosity / omega0:
+        Exactly one of the two fixes the coarse-level relaxation.
+    fusion:
+        Kernel-fusion configuration (a :class:`FusionConfig` or a preset
+        name such as ``"ours-4f"``); defaults to the paper's best.
+    force:
+        Optional constant body-force density vector (coarse lattice
+        units); stored as a tuple so the config stays hashable.
+    dtype:
+        ``None`` (float64, the paper's setting), ``numpy.float32`` /
+        ``numpy.float64`` or their string names.
+    threaded:
+        ``None`` defers to ``$REPRO_THREADED``; ``True``/``False`` force
+        the deferred wave executor on or off.
+    max_workers / executor_debug:
+        Forwarded to :class:`~repro.neon.executor.WaveExecutor` when
+        threading is enabled.
+    """
+
+    lattice: Any = "D3Q19"
+    collision: Any = "bgk"
+    viscosity: float | None = None
+    omega0: float | None = None
+    fusion: FusionConfig | str = FUSED_FULL
+    force: tuple[float, ...] | None = None
+    dtype: Any = None
+    threaded: bool | None = None
+    max_workers: int | None = None
+    executor_debug: bool | None = None
+
+    def __post_init__(self) -> None:
+        if (self.viscosity is None) == (self.omega0 is None):
+            raise ValueError("specify exactly one of viscosity / omega0")
+        if isinstance(self.fusion, str):
+            object.__setattr__(self, "fusion", get_config(self.fusion))
+        elif not isinstance(self.fusion, FusionConfig):
+            raise TypeError(
+                f"fusion must be a FusionConfig or preset name, "
+                f"got {type(self.fusion).__name__}")
+        if self.force is not None:
+            object.__setattr__(self, "force",
+                               tuple(float(c) for c in np.asarray(self.force).ravel()))
+        if isinstance(self.dtype, str):
+            object.__setattr__(self, "dtype", np.dtype(self.dtype).type)
+        if self.max_workers is not None and int(self.max_workers) < 1:
+            raise ValueError("max_workers must be >= 1")
+
+    def replace(self, **changes) -> "SimConfig":
+        """A copy with ``changes`` applied (re-validated).
+
+        ``viscosity`` and ``omega0`` can be swapped in one call, e.g.
+        ``cfg.replace(viscosity=None, omega0=1.2)`` — the safety-profile
+        rebuilds of :mod:`repro.resilience` rely on this.
+        """
+        return dataclasses.replace(self, **changes)
+
+    def as_dict(self) -> dict:
+        """JSON-ready digest (checkpoint manifests, resilience reports)."""
+        return {
+            "lattice": getattr(self.lattice, "name", self.lattice),
+            "collision": (self.collision if isinstance(self.collision, str)
+                          else type(self.collision).__name__),
+            "viscosity": self.viscosity,
+            "omega0": self.omega0,
+            "fusion": self.fusion.name,
+            "force": list(self.force) if self.force is not None else None,
+            "dtype": np.dtype(self.dtype).name if self.dtype is not None else None,
+            "threaded": self.threaded,
+            "max_workers": self.max_workers,
+            "executor_debug": self.executor_debug,
+        }

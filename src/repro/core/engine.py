@@ -537,6 +537,28 @@ class Engine:
                        atomic_bytes=atomic,
                        reads=tuple(reads), writes=tuple(writes), fn=body)
 
+    # -- fault injection ---------------------------------------------------------
+    def corrupt_cell(self, lv: int, cell: int, q: int = 0,
+                     value: float = float("nan")) -> float:
+        """Overwrite one owned population entry of ``f``; return the old value.
+
+        The write hook of the resilience fault injector (and of tests):
+        only the engine knows the buffer/row layout, so the corruption
+        lands exactly where :meth:`health_scan` and the watchdog will
+        report it.  Functionally this models a device-side soft error —
+        a single flipped population value that floods the grid within a
+        few steps unless a watchdog catches it.
+        """
+        buf = self.levels[lv]
+        if not 0 <= cell < buf.n_owned:
+            raise ValueError(f"cell {cell} outside the {buf.n_owned} owned "
+                             f"rows of level {lv}")
+        if not 0 <= q < self.lat.q:
+            raise ValueError(f"population index {q} outside Q={self.lat.q}")
+        old = float(buf.f[q, cell])
+        buf.f[q, cell] = value
+        return old
+
     # -- health ------------------------------------------------------------------
     def health_scan(self):
         """Yield a per-level numerical-health snapshot (owned cells only).

@@ -14,12 +14,14 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 
 import numpy as np
 
 from ..grid.multigrid import MultiGrid, RefinementSpec, build_multigrid
 from ..neon.runtime import Runtime
 from .collision import CollisionModel
+from .config import SimConfig
 from .engine import Engine
 from .fusion import FUSED_FULL, FusionConfig
 from .lattice import Lattice, get_lattice
@@ -27,6 +29,21 @@ from .stepper import NonUniformStepper
 from .units import omega_from_viscosity
 
 __all__ = ["Simulation", "mlups"]
+
+#: One-time flag for the legacy-kwargs deprecation warning (the shim
+#: must not spam a test suite that builds hundreds of simulations).
+_legacy_warned = False
+
+
+def _warn_legacy_kwargs() -> None:
+    global _legacy_warned
+    if not _legacy_warned:
+        _legacy_warned = True
+        warnings.warn(
+            "Simulation(spec, lattice=..., viscosity=..., ...) keyword "
+            "construction is deprecated; build a repro.SimConfig and use "
+            "Simulation.from_config(spec, config) instead",
+            DeprecationWarning, stacklevel=3)
 
 
 def mlups(active_per_level: list[int], n_coarse_steps: int, seconds: float) -> float:
@@ -78,25 +95,62 @@ class Simulation:
                  runtime: Runtime | None = None, force=None,
                  dtype=None, threaded: bool | None = None,
                  max_workers: int | None = None,
-                 executor_debug: bool | None = None) -> None:
-        if (viscosity is None) == (omega0 is None):
-            raise ValueError("specify exactly one of viscosity / omega0")
-        lat = get_lattice(lattice) if isinstance(lattice, str) else lattice
-        if omega0 is None:
-            omega0 = omega_from_viscosity(viscosity)
+                 executor_debug: bool | None = None,
+                 _config: SimConfig | None = None) -> None:
+        if _config is None:
+            # Legacy keyword construction: fold everything into a
+            # SimConfig (which validates) and warn once per process.
+            _warn_legacy_kwargs()
+            _config = SimConfig(
+                lattice=lattice, collision=collision, viscosity=viscosity,
+                omega0=omega0, fusion=config, force=force, dtype=dtype,
+                threaded=threaded, max_workers=max_workers,
+                executor_debug=executor_debug)
+        self._build(spec, _config, runtime)
+
+    @classmethod
+    def from_config(cls, spec: RefinementSpec, config: SimConfig | None = None,
+                    *, runtime: Runtime | None = None,
+                    **overrides) -> "Simulation":
+        """Build a simulation from a :class:`~repro.core.config.SimConfig`.
+
+        This is the canonical constructor.  ``overrides`` are applied via
+        :meth:`SimConfig.replace` (or build a fresh config when ``config``
+        is ``None``), so one base profile can parameterize a sweep::
+
+            base = SimConfig(lattice="D2Q9", viscosity=0.05)
+            sim = Simulation.from_config(spec, base, fusion=FUSE_SE)
+        """
+        if config is None:
+            config = SimConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        return cls(spec, runtime=runtime, _config=config)
+
+    def _build(self, spec: RefinementSpec, config: SimConfig,
+               runtime: Runtime | None) -> None:
+        lat = (get_lattice(config.lattice) if isinstance(config.lattice, str)
+               else config.lattice)
+        omega0 = (config.omega0 if config.omega0 is not None
+                  else omega_from_viscosity(config.viscosity))
+        #: The immutable configuration this simulation was built from
+        #: (checkpoint manifests and resilience rebuilds read it back).
+        self.sim_config: SimConfig = config
         self.mgrid: MultiGrid = build_multigrid(spec, lat)
-        import numpy as _np
-        self.engine = Engine(self.mgrid, collision, omega0, runtime=runtime,
-                             force=force,
-                             dtype=_np.float64 if dtype is None else dtype)
-        self.stepper = NonUniformStepper(self.engine, config)
+        self.engine = Engine(self.mgrid, config.collision, omega0,
+                             runtime=runtime, force=config.force,
+                             dtype=np.float64 if config.dtype is None
+                             else config.dtype)
+        self.stepper = NonUniformStepper(self.engine, config.fusion)
         self.engine.initialize()
         self.elapsed = 0.0
+        threaded = config.threaded
         if threaded is None:
             threaded = os.environ.get("REPRO_THREADED", "").lower() \
                 in ("1", "true", "on", "yes")
         if threaded:
-            self.enable_threading(max_workers=max_workers, debug=executor_debug)
+            self.enable_threading(max_workers=config.max_workers,
+                                  debug=config.executor_debug)
 
     # -- delegation ------------------------------------------------------------
     @property
@@ -134,6 +188,17 @@ class Simulation:
             dt = time.perf_counter() - t0
             self.elapsed += dt
         return dt
+
+    def run_until(self, target: int, callback=None,
+                  callback_every: int = 1) -> float:
+        """Run until ``steps_done`` reaches ``target`` (no-op if past it).
+
+        The resumption-friendly variant of :meth:`run`: after a
+        checkpoint restore or a rollback the caller states the absolute
+        goal instead of recomputing a remainder.
+        """
+        return self.run(max(0, target - self.steps_done),
+                        callback=callback, callback_every=callback_every)
 
     # -- threaded execution ------------------------------------------------------
     def enable_threading(self, max_workers: int | None = None,

@@ -49,6 +49,16 @@ class NonUniformStepper:
             if callback is not None and (k + 1) % callback_every == 0:
                 callback(self)
 
+    def run_until(self, target: int, callback=None,
+                  callback_every: int = 1) -> None:
+        """Advance until ``steps_done`` reaches ``target`` (absolute count).
+
+        A restored or rolled-back driver resumes toward the same goal
+        without recomputing remainders; already-past targets are no-ops.
+        """
+        self.run(max(0, target - self.steps_done),
+                 callback=callback, callback_every=callback_every)
+
     # -- Algorithm 1 -----------------------------------------------------------
     def _advance(self, lv: int) -> None:
         cfg = self.config

@@ -4,8 +4,9 @@ from .costmodel import (FLOPS_PER_CELL, KernelCost, TraceCost, cost_trace,
                         kernel_time_us, predicted_mlups)
 from .device import (A100_40GB, A100_80GB, CPU_XEON_32C, V100_32GB, DeviceSpec,
                      get_device)
-from .memory import (MemoryReport, ghost_layer_bytes, grid_memory_report,
-                     mc_level_counts, refined_memory_bytes, uniform_aa_max_cube,
+from .memory import (DeviceOOMError, MemoryReport, ensure_fits,
+                     ghost_layer_bytes, grid_memory_report, mc_level_counts,
+                     refined_memory_bytes, uniform_aa_max_cube,
                      uniform_memory_bytes)
 
 __all__ = [
@@ -13,6 +14,7 @@ __all__ = [
     "predicted_mlups",
     "A100_40GB", "A100_80GB", "CPU_XEON_32C", "V100_32GB", "DeviceSpec",
     "get_device",
+    "DeviceOOMError", "ensure_fits",
     "MemoryReport", "ghost_layer_bytes", "grid_memory_report", "mc_level_counts",
     "refined_memory_bytes", "uniform_aa_max_cube", "uniform_memory_bytes",
 ]

@@ -27,10 +27,37 @@ from ..grid.multigrid import MultiGrid
 from .device import DeviceSpec
 
 __all__ = [
+    "DeviceOOMError", "ensure_fits",
     "MemoryReport", "grid_memory_report", "ghost_layer_bytes",
     "uniform_memory_bytes", "uniform_aa_max_cube",
     "mc_level_counts", "refined_memory_bytes",
 ]
+
+
+class DeviceOOMError(MemoryError):
+    """A (modelled) device allocation does not fit the card.
+
+    Raised by :func:`ensure_fits` when a compiled grid's footprint
+    exceeds the device capacity, and by the resilience fault injector to
+    simulate a mid-run allocation failure (the way fragmentation or a
+    co-tenant process kills long GPU runs in production).  Carries the
+    byte counts so recovery policies and reports can show headroom.
+    """
+
+    def __init__(self, message: str, *, requested: int = 0,
+                 capacity: int = 0) -> None:
+        super().__init__(message)
+        self.requested = int(requested)
+        self.capacity = int(capacity)
+
+
+def ensure_fits(report: "MemoryReport", device: DeviceSpec) -> None:
+    """Raise :class:`DeviceOOMError` unless ``report`` fits ``device``."""
+    if not report.fits(device):
+        raise DeviceOOMError(
+            f"grid needs {report.total / 2**30:.2f} GiB but {device.name} "
+            f"has {device.capacity_bytes / 2**30:.2f} GiB",
+            requested=report.total, capacity=device.capacity_bytes)
 
 
 @dataclass(frozen=True)

@@ -1,11 +1,13 @@
 """Snapshots, slices, probes and report tables."""
 
-from .checkpoint import restore_checkpoint, save_checkpoint
+from .checkpoint import (CheckpointError, CheckpointStore, restore_checkpoint,
+                         save_checkpoint)
 from .sampling import (centerline_profile, composite_fields, level_dense,
                        load_snapshot, plane_slice, save_snapshot)
 from .tables import format_table, print_table
 
-__all__ = ["restore_checkpoint", "save_checkpoint",
+__all__ = ["CheckpointError", "CheckpointStore",
+           "restore_checkpoint", "save_checkpoint",
            "centerline_profile", "composite_fields", "level_dense",
            "load_snapshot", "plane_slice", "save_snapshot",
            "format_table", "print_table"]

@@ -4,21 +4,59 @@ Long wind-tunnel runs (the paper's 30k-iteration sphere experiment)
 need restartability.  A checkpoint stores every level's population
 buffers and ghost accumulators verbatim, so a restored run continues
 bit-for-bit identically — which the test suite asserts.
+
+Two layers:
+
+* :class:`CheckpointStore` — the directory-based API: atomic writes
+  (temp file + ``os.replace``, so a crash mid-write never leaves a
+  half-checkpoint under the real name), a ``manifest.json`` with
+  step/config metadata, keep-last-K pruning and generation fallback on
+  restore.  This is what :class:`~repro.resilience.ResilientRunner`
+  rolls back through.
+* :func:`save_checkpoint` / :func:`restore_checkpoint` — single-file
+  module functions, kept as thin compatibility wrappers over the same
+  serialization (and themselves crash-safe).
+
+Corruption (a truncated or non-checkpoint file) raises the structured
+:class:`CheckpointError`; structural mismatch against the target
+simulation keeps raising ``ValueError`` as before.  Restore is
+all-or-nothing: every array is loaded and validated **before** the first
+byte lands in the simulation's buffers.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zipfile
 
 import numpy as np
 
 from ..core.simulation import Simulation
 
-__all__ = ["save_checkpoint", "restore_checkpoint"]
+__all__ = ["CheckpointError", "CheckpointStore",
+           "save_checkpoint", "restore_checkpoint"]
 
 _FORMAT = 1
 
 
-def save_checkpoint(sim: Simulation, path: str) -> None:
-    """Write the full engine state to ``path`` (``.npz``)."""
+class CheckpointError(RuntimeError):
+    """A checkpoint file is unreadable (truncated, corrupt, missing keys).
+
+    Distinct from the ``ValueError`` raised for *structural* mismatch
+    (wrong lattice/shape/levels): a ``CheckpointError`` means the file
+    itself is damaged, so a caller holding older generations should fall
+    back to the previous one — which
+    :meth:`CheckpointStore.restore_latest` does automatically.
+    """
+
+    def __init__(self, message: str, path: str | None = None) -> None:
+        super().__init__(message if path is None else f"{message} ({path})")
+        self.path = path
+
+
+def _payload(sim: Simulation) -> dict[str, np.ndarray]:
     payload: dict[str, np.ndarray] = {
         "format": np.asarray(_FORMAT),
         "steps": np.asarray(sim.steps_done),
@@ -31,41 +69,244 @@ def save_checkpoint(sim: Simulation, path: str) -> None:
         payload[f"f_{lv}"] = buf.f
         payload[f"fstar_{lv}"] = buf.fstar
         payload[f"gacc_{lv}"] = buf.ghost_acc
-    np.savez_compressed(path, **payload)
+    return payload
+
+
+def _atomic_write_npz(path: str, payload: dict[str, np.ndarray]) -> None:
+    """Write ``payload`` so ``path`` only ever holds a complete archive.
+
+    The bytes go to a temp file in the same directory (same filesystem,
+    so the final ``os.replace`` is atomic); a process dying mid-write
+    leaves only the temp file, never a truncated checkpoint under the
+    real name.
+    """
+    dirname = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(prefix=os.path.basename(path) + ".",
+                               suffix=".tmp", dir=dirname)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def save_checkpoint(sim: Simulation, path: str) -> None:
+    """Write the full engine state to ``path`` (``.npz``), atomically."""
+    _atomic_write_npz(path, _payload(sim))
+
+
+def _load_arrays(path: str) -> dict[str, np.ndarray]:
+    """Read every array of a checkpoint into memory, or raise CheckpointError.
+
+    ``np.load`` on an ``.npz`` is lazy — members are decompressed on
+    access — so a truncated file can fail *midway through a restore*.
+    Materializing everything first makes restore all-or-nothing.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            return {k: data[k] for k in data.files}
+    except (zipfile.BadZipFile, EOFError, OSError, KeyError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint is unreadable or truncated: {exc}", path) from exc
 
 
 def restore_checkpoint(sim: Simulation, path: str) -> None:
     """Load a checkpoint into a simulation built from the *same* spec.
 
     The target must match the checkpoint structurally (levels, lattice,
-    per-level cell counts) — the function validates and raises otherwise.
+    per-level cell counts) — the function validates and raises
+    ``ValueError`` otherwise; a damaged file raises
+    :class:`CheckpointError`.  The simulation is only modified once the
+    whole file has been read and validated.
     """
-    with np.load(path) as data:
-        if int(data["format"]) != _FORMAT:
-            raise ValueError(f"unsupported checkpoint format {int(data['format'])}")
-        if int(data["num_levels"]) != sim.num_levels:
-            raise ValueError("level count differs from the checkpoint")
-        ck_shape = tuple(int(x) for x in data["base_shape"])
-        if ck_shape != tuple(sim.mgrid.spec.base_shape):
-            # Cell counts can coincide across different domains (e.g. a
-            # transposed box) — the shape itself must match.
-            raise ValueError(
-                f"base shape differs from the checkpoint: "
-                f"{ck_shape} vs {tuple(sim.mgrid.spec.base_shape)}")
-        if str(data["lattice"]) != sim.lattice.name:
-            raise ValueError("lattice differs from the checkpoint")
-        if data["active_per_level"].tolist() != sim.mgrid.active_per_level():
-            raise ValueError("grid layout differs from the checkpoint")
-        for lv, buf in enumerate(sim.engine.levels):
-            f = data[f"f_{lv}"]
-            if f.shape != buf.f.shape:
+    data = _load_arrays(path)
+    try:
+        fmt = int(data["format"])
+    except KeyError as exc:
+        raise CheckpointError("file is not a repro checkpoint "
+                              "(no format marker)", path) from exc
+    if fmt != _FORMAT:
+        raise ValueError(f"unsupported checkpoint format {fmt}")
+    if int(data["num_levels"]) != sim.num_levels:
+        raise ValueError("level count differs from the checkpoint")
+    ck_shape = tuple(int(x) for x in data["base_shape"])
+    if ck_shape != tuple(sim.mgrid.spec.base_shape):
+        # Cell counts can coincide across different domains (e.g. a
+        # transposed box) — the shape itself must match.
+        raise ValueError(
+            f"base shape differs from the checkpoint: "
+            f"{ck_shape} vs {tuple(sim.mgrid.spec.base_shape)}")
+    if str(data["lattice"]) != sim.lattice.name:
+        raise ValueError("lattice differs from the checkpoint")
+    if data["active_per_level"].tolist() != sim.mgrid.active_per_level():
+        raise ValueError("grid layout differs from the checkpoint")
+    for lv, buf in enumerate(sim.engine.levels):
+        for key, target in ((f"f_{lv}", buf.f), (f"fstar_{lv}", buf.fstar),
+                            (f"gacc_{lv}", buf.ghost_acc)):
+            if key not in data:
+                raise CheckpointError(f"missing array {key!r}", path)
+            if data[key].shape != target.shape:
                 raise ValueError(f"level {lv} buffer shape mismatch")
-            buf.f[:] = f
-            buf.fstar[:] = data[f"fstar_{lv}"]
-            buf.ghost_acc[:] = data[f"gacc_{lv}"]
-        steps = int(data["steps"])
-        sim.stepper.steps_done = steps
-        # Rebase the trace: the restored steps happened outside this
-        # runtime's records, so per-step metrics must not average the new
-        # trace over them (they'd report skewed kernels/bytes per step).
-        sim.runtime.reset(steps_base=steps)
+    for lv, buf in enumerate(sim.engine.levels):
+        buf.f[:] = data[f"f_{lv}"]
+        buf.fstar[:] = data[f"fstar_{lv}"]
+        buf.ghost_acc[:] = data[f"gacc_{lv}"]
+    steps = int(data["steps"])
+    sim.stepper.steps_done = steps
+    # Rebase the trace: the restored steps happened outside this
+    # runtime's records, so per-step metrics must not average the new
+    # trace over them (they'd report skewed kernels/bytes per step).
+    sim.runtime.reset(steps_base=steps)
+
+
+class CheckpointStore:
+    """Directory of rolling checkpoints with a manifest and keep-K pruning.
+
+    Files are named ``ckpt_<step:08d>.npz`` and written atomically;
+    ``manifest.json`` (also atomically replaced) records step, file name
+    and the simulation's :class:`~repro.core.config.SimConfig` digest per
+    generation.  :meth:`restore_latest` walks generations newest-first
+    and transparently skips damaged files, so one torn write never
+    strands a recovery.
+
+    Parameters
+    ----------
+    directory:
+        Created if missing.  One store per simulation lineage — the
+        structural validation of :func:`restore_checkpoint` still guards
+        against crossing streams.
+    keep:
+        Number of most-recent generations retained; older checkpoint
+        files are deleted after each successful save.  ``keep >= 2``
+        is what makes generation fallback meaningful.
+    """
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, directory: str, keep: int = 3) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.directory = str(directory)
+        self.keep = keep
+        os.makedirs(self.directory, exist_ok=True)
+
+    # -- paths / listing -----------------------------------------------------
+    def path_for(self, step: int) -> str:
+        return os.path.join(self.directory, f"ckpt_{int(step):08d}.npz")
+
+    def steps(self) -> list[int]:
+        """Steps with a checkpoint file on disk, ascending."""
+        out = []
+        for name in os.listdir(self.directory):
+            if name.startswith("ckpt_") and name.endswith(".npz"):
+                try:
+                    out.append(int(name[5:-4]))
+                except ValueError:
+                    continue
+        return sorted(out)
+
+    def latest(self) -> int | None:
+        """Newest checkpointed step, or ``None`` for an empty store."""
+        steps = self.steps()
+        return steps[-1] if steps else None
+
+    def manifest(self) -> dict:
+        """The on-disk manifest (empty skeleton when absent/corrupt)."""
+        path = os.path.join(self.directory, self.MANIFEST)
+        try:
+            with open(path) as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return {"format": _FORMAT, "entries": []}
+
+    # -- writing -------------------------------------------------------------
+    def save(self, sim: Simulation, **meta) -> str:
+        """Checkpoint ``sim`` at its current step; return the file path.
+
+        Saving the same step twice overwrites that generation (the
+        rollback-retry loop re-checkpoints reliably).  Extra ``meta``
+        keys land in the manifest entry.
+        """
+        step = sim.steps_done
+        path = self.path_for(step)
+        _atomic_write_npz(path, _payload(sim))
+        entry = {
+            "step": int(step),
+            "file": os.path.basename(path),
+            "lattice": sim.lattice.name,
+            "base_shape": list(sim.mgrid.spec.base_shape),
+            "config": sim.sim_config.as_dict()
+            if getattr(sim, "sim_config", None) is not None else None,
+            **meta,
+        }
+        man = self.manifest()
+        man["format"] = _FORMAT
+        man["entries"] = ([e for e in man.get("entries", [])
+                           if e.get("step") != int(step)] + [entry])
+        man["entries"].sort(key=lambda e: e.get("step", 0))
+        self._prune(man)
+        self._write_manifest(man)
+        return path
+
+    def _prune(self, man: dict) -> None:
+        keep_steps = {e["step"] for e in man["entries"][-self.keep:]}
+        man["entries"] = man["entries"][-self.keep:]
+        for step in self.steps():
+            if step not in keep_steps:
+                try:
+                    os.unlink(self.path_for(step))
+                except OSError:
+                    pass
+
+    def _write_manifest(self, man: dict) -> None:
+        path = os.path.join(self.directory, self.MANIFEST)
+        fd, tmp = tempfile.mkstemp(prefix=self.MANIFEST + ".",
+                                   suffix=".tmp", dir=self.directory)
+        with os.fdopen(fd, "w") as fh:
+            json.dump(man, fh, indent=2)
+            fh.write("\n")
+        os.replace(tmp, path)
+
+    # -- reading -------------------------------------------------------------
+    def restore(self, sim: Simulation, step: int | None = None) -> int:
+        """Restore one generation (default: the newest); return its step.
+
+        Raises :class:`CheckpointError` if that generation is damaged or
+        the store is empty — use :meth:`restore_latest` for automatic
+        fallback.
+        """
+        if step is None:
+            step = self.latest()
+            if step is None:
+                raise CheckpointError("checkpoint store is empty",
+                                      self.directory)
+        restore_checkpoint(sim, self.path_for(step))
+        return int(step)
+
+    def restore_latest(self, sim: Simulation) -> int:
+        """Restore the newest *readable* generation; return its step.
+
+        Damaged generations (torn writes, truncation) are skipped
+        newest-to-oldest; only when every generation is unreadable does
+        the error propagate.
+        """
+        steps = self.steps()
+        if not steps:
+            raise CheckpointError("checkpoint store is empty", self.directory)
+        last_error: CheckpointError | None = None
+        for step in reversed(steps):
+            try:
+                restore_checkpoint(sim, self.path_for(step))
+                return step
+            except CheckpointError as exc:
+                last_error = exc
+        raise CheckpointError(
+            f"all {len(steps)} checkpoint generation(s) are unreadable; "
+            f"last error: {last_error}", self.directory)

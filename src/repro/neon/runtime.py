@@ -97,6 +97,14 @@ class Runtime:
         #: (immediate execution).  Duck-typed: ``execute(runtime, pending)``
         #: and ``shutdown()``.
         self.executor = None
+        #: Active fault injector (see :mod:`repro.resilience.faults`), or
+        #: ``None``.  Duck-typed like the span recorder so the runtime
+        #: never imports the resilience layer: ``wrap_body(name, level,
+        #: fn)`` may substitute a kernel body at launch, ``on_step(step)``
+        #: fires after each coarse-step marker with the absolute
+        #: completed-step count.  When absent the hot path pays a single
+        #: ``None`` test.
+        self.faults = None
         #: Coarse steps completed before the current trace began (synced by
         #: checkpoint restore / post-warmup :meth:`reset`); per-step metrics
         #: subtract it so a restored run is not skewed by untraced history.
@@ -107,6 +115,13 @@ class Runtime:
                bytes_read: int, bytes_written: int,
                reads: tuple[FieldRef, ...] = (), writes: tuple[FieldRef, ...] = (),
                atomic_bytes: int = 0, tag: str = "", fn=None) -> None:
+        if self.faults is not None:
+            # The injector sees every launch and may wrap the body (to
+            # raise a simulated kernel/OOM failure when it runs); the
+            # record itself is never altered.  Wrapping happens before
+            # the deferred-capture branch so injected faults surface
+            # identically in immediate and threaded execution.
+            fn = self.faults.wrap_body(name, level, fn)
         if self.executor is not None and self.tracer is None:
             # Deferred capture: record now, run the body at the next flush.
             rec = KernelRecord(
@@ -148,6 +163,11 @@ class Runtime:
         self.markers.append(len(self.records))
         if self.spans is not None:
             self.spans.on_step(len(self.markers) - 1, start, len(self.records))
+        if self.faults is not None:
+            # Field-corruption faults fire on step completion, before the
+            # driver's callbacks (so an armed watchdog sees the damage at
+            # the step it was injected).
+            self.faults.on_step(self.steps_base + len(self.markers))
 
     def reset(self, steps_base: int | None = None) -> None:
         """Clear the trace; ``steps_base`` rebases per-step accounting.
@@ -231,6 +251,17 @@ class Runtime:
         old, self.executor = self.executor, executor
         if old is not None:
             old.shutdown()
+
+    # -- fault hooks ---------------------------------------------------------
+    def faults_install(self, injector) -> None:
+        """Install (or, with ``None``, remove) a fault injector.
+
+        Pending deferred bodies are flushed first so faults armed from
+        now on only wrap launches issued from now on — a body captured
+        before installation is never retroactively corrupted.
+        """
+        self.flush()
+        self.faults = injector
 
     # -- span hooks ----------------------------------------------------------
     def spans_install(self, recorder) -> None:

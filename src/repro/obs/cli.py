@@ -67,8 +67,7 @@ def run_workload(workload: str, config_name: str, *, steps: int = 3,
     cfg = _resolve_config(config_name)
     device = get_device(device_name)
     wl = lid_cavity(**OBS_WORKLOADS[workload])
-    sim = Simulation(wl.spec, wl.lattice, wl.collision,
-                     viscosity=wl.viscosity, config=cfg)
+    sim = Simulation.from_config(wl.spec, wl.sim_config(fusion=cfg))
     recorder = sim.enable_tracing()
     registry = MetricsRegistry()
     watchdog = HealthWatchdog(sim, every=watchdog_every, registry=registry)

@@ -22,11 +22,12 @@ unit the Chrome-trace/Perfetto exporter (:mod:`repro.obs.trace`) emits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from time import perf_counter
 
 from ..neon.runtime import KernelRecord
 
-__all__ = ["KernelSpan", "StepSpan", "LevelRun", "SpanRecorder"]
+__all__ = ["KernelSpan", "StepSpan", "LevelRun", "EventSpan", "SpanRecorder"]
 
 
 @dataclass(frozen=True)
@@ -86,6 +87,25 @@ class LevelRun:
         return self.end_us - self.start_us
 
 
+@dataclass(frozen=True)
+class EventSpan:
+    """A point event outside the kernel trace (rollback, retry, fallback).
+
+    Emitted by the resilience runner via :meth:`SpanRecorder.on_event`.
+    Unlike kernel/step spans, events *survive* trace resets: a rollback
+    resets the runtime (clearing the kernel trace of the abandoned
+    attempt), and the whole point of the event log is to narrate exactly
+    those recoveries.
+    """
+
+    name: str
+    ts_us: float               # relative to the recorder's origin
+    meta: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "ts_us": round(self.ts_us, 3), **self.meta}
+
+
 class SpanRecorder:
     """Collects kernel/step spans from a :class:`~repro.neon.runtime.Runtime`.
 
@@ -98,6 +118,7 @@ class SpanRecorder:
     def __init__(self) -> None:
         self.kernel_spans: list[KernelSpan] = []
         self.step_spans: list[StepSpan] = []
+        self.events: list[EventSpan] = []
         self._origin: float | None = None
 
     # -- installation --------------------------------------------------------
@@ -129,9 +150,24 @@ class SpanRecorder:
             end_record=end_record, start_us=t0, end_us=t1))
 
     def on_reset(self) -> None:
+        # Events survive: they narrate recoveries, and every rollback
+        # resets the trace right after emitting one.
         self.kernel_spans.clear()
         self.step_spans.clear()
         self._origin = None
+
+    def on_event(self, name: str, **meta) -> EventSpan:
+        """Record a point event (rollback, retry, degradation, ...).
+
+        Callable any time, including before the first launch; the first
+        observation — launch or event — anchors the time origin.
+        """
+        now = perf_counter()
+        if self._origin is None:
+            self._origin = now
+        ev = EventSpan(name=name, ts_us=(now - self._origin) * 1e6, meta=meta)
+        self.events.append(ev)
+        return ev
 
     # -- derived structure ---------------------------------------------------
     def level_runs(self) -> list[LevelRun]:

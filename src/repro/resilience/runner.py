@@ -1,0 +1,433 @@
+"""Checkpoint-rollback retry and graceful degradation for long runs.
+
+:class:`ResilientRunner` wraps ``Simulation.run`` the way a production
+driver must: checkpoint periodically, watch numerical health, and when
+the run fails — a divergence, a kernel fault, a device OOM, a scheduler
+race — roll back to the last good checkpoint and retry under a bounded
+:class:`RetryPolicy` instead of dying 20k steps into a 30k-step
+wind-tunnel experiment.
+
+Recovery from *transient* faults is **bit-identical** to an unfaulted
+run: the engine is deterministic, a checkpoint captures every population
+buffer verbatim, and a rollback restores all of them before re-running
+the lost steps (``python -m repro.resilience`` verifies this across the
+whole fusion-config matrix).
+
+When retries alone cannot help, the runner walks a degradation ladder:
+
+1. **threaded -> serial** — a :class:`~repro.neon.executor.WaveRaceError`
+   (deterministic scheduler defect) falls back immediately; repeated
+   kernel failures under the executor fall back after
+   ``executor_failures_before_serial`` strikes.  Serial execution is
+   bit-identical, so this rung never changes results.
+2. **reduced-omega safety profile** — repeated divergence means the
+   physics, not the machinery, is unstable; after
+   ``divergences_before_safety`` strikes the simulation is rebuilt with
+   the coarse relaxation rate scaled by ``omega_safety_scale`` (more
+   viscous, more stable) and the report marks the run ``degraded``.
+
+Every recovery is visible in telemetry: ``retries_total`` /
+``rollback_steps`` / ``checkpoints_total`` / ``degradations_total``
+counters in the :class:`~repro.obs.metrics.MetricsRegistry`, and
+``retry`` / ``rollback`` / ``degrade`` events in the
+:class:`~repro.obs.spans.SpanRecorder` (events survive the trace resets
+that rollbacks cause).
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from ..core.config import SimConfig
+from ..core.simulation import Simulation
+from ..core.units import omega_from_viscosity
+from ..gpu.memory import DeviceOOMError
+from ..io.checkpoint import CheckpointStore
+from ..neon.executor import WaveRaceError
+from ..obs.metrics import MetricsRegistry
+from ..obs.spans import SpanRecorder
+from ..obs.watchdog import HealthWatchdog, SimulationDiverged
+
+__all__ = ["RetryPolicy", "RunReport", "RetryExhausted", "ResilientRunner"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds and cadences of the recovery loop.
+
+    Attributes
+    ----------
+    max_retries:
+        Rollback-retries allowed per ladder rung before either stepping
+        down a rung or raising :class:`RetryExhausted`.  Each successful
+        checkpoint and each degradation resets the count — the budget
+        bounds *consecutive* failures, not failures per run.
+    checkpoint_every:
+        Coarse steps between automatic checkpoints.  Smaller means less
+        recomputation per rollback, more I/O.
+    backoff / backoff_factor / max_backoff:
+        Seconds slept before the k-th consecutive retry:
+        ``min(backoff * backoff_factor**(k-1), max_backoff)``.  The
+        default ``backoff=0`` never sleeps (transient faults in this
+        host-model runtime do not need wall-clock spacing; a real
+        deployment facing flaky devices sets it nonzero).
+    keep_checkpoints:
+        Generations the :class:`~repro.io.checkpoint.CheckpointStore`
+        retains (>= 2 keeps a fallback if the newest write tore).
+    watchdog_every:
+        Health-check cadence in coarse steps; the state is *always*
+        checked right before a checkpoint is written, so a poisoned
+        state never becomes a rollback target regardless of cadence.
+    executor_failures_before_serial:
+        Kernel/OOM failures under the threaded executor tolerated before
+        falling back to serial execution (a ``WaveRaceError`` falls back
+        on the first strike — it is deterministic, retrying is futile).
+    divergences_before_safety:
+        Divergences tolerated before rebuilding with the safety profile.
+    omega_safety_scale:
+        Factor applied to the coarse relaxation rate for the safety
+        profile (< 1 raises viscosity, pulling the run away from the
+        omega -> 2 stability boundary).
+    """
+
+    max_retries: int = 3
+    checkpoint_every: int = 5
+    backoff: float = 0.0
+    backoff_factor: float = 2.0
+    max_backoff: float = 30.0
+    keep_checkpoints: int = 3
+    watchdog_every: int = 1
+    executor_failures_before_serial: int = 2
+    divergences_before_safety: int = 3
+    omega_safety_scale: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.backoff < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff must be >= 0 with factor >= 1")
+        if not 0 < self.omega_safety_scale < 1:
+            raise ValueError("omega_safety_scale must be in (0, 1)")
+
+
+@dataclass
+class RunReport:
+    """Structured outcome of one :meth:`ResilientRunner.run`.
+
+    ``outcome`` is ``"ok"`` (target reached, physics untouched),
+    ``"degraded"`` (target reached on a safety rung) or ``"failed"``
+    (attached to :class:`RetryExhausted`).  ``failures`` lists every
+    recovered incident; ``degradations`` the ladder rungs taken.
+    """
+
+    outcome: str = "ok"
+    target_step: int = 0
+    final_step: int = 0
+    retries: int = 0
+    rollback_steps: int = 0
+    checkpoints: int = 0
+    mode: str = "serial"
+    omega_scale: float = 1.0
+    failures: list = field(default_factory=list)
+    degradations: list = field(default_factory=list)
+    events: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "outcome": self.outcome,
+            "target_step": self.target_step,
+            "final_step": self.final_step,
+            "retries": self.retries,
+            "rollback_steps": self.rollback_steps,
+            "checkpoints": self.checkpoints,
+            "mode": self.mode,
+            "omega_scale": self.omega_scale,
+            "failures": list(self.failures),
+            "degradations": list(self.degradations),
+            "events": list(self.events),
+        }
+
+
+class RetryExhausted(RuntimeError):
+    """Every retry and every ladder rung failed; carries the full report."""
+
+    def __init__(self, message: str, report: RunReport) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+from .faults import InjectedKernelError
+
+#: Failure types the runner recovers from; other exceptions recover only
+#: when a ``kernel_span`` marks them as a kernel-body failure (attached
+#: by the executor / deferred-drain error paths).  Anything else is a
+#: programming error and propagates untouched.
+_RECOVERABLE = (SimulationDiverged, WaveRaceError, DeviceOOMError,
+                InjectedKernelError)
+
+
+class ResilientRunner:
+    """Runs a simulation to a target step count, surviving failures.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`~repro.grid.multigrid.RefinementSpec` (rebuilds on
+        the degradation ladder recompile the same domain).
+    config:
+        The :class:`~repro.core.config.SimConfig`; defaults to the
+        paper's profile with ``viscosity=0.05``.
+    policy:
+        :class:`RetryPolicy` (defaults are sensible for tests/CI).
+    store:
+        A :class:`~repro.io.checkpoint.CheckpointStore`, a directory
+        path, or ``None`` for a self-cleaning temporary directory.
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultInjector`,
+        (re-)installed on every build — the test matrix's hook.
+    registry / recorder:
+        Telemetry sinks; fresh ones are created when omitted and exposed
+        as :attr:`registry` / :attr:`recorder`.
+    setup:
+        Optional ``setup(sim)`` hook run after every (re)build, before
+        any stepping — the place to impose initial conditions, since a
+        ladder rebuild must re-impose them before the checkpoint restore
+        overwrites the state.
+    sleep:
+        Injectable ``sleep(seconds)`` for backoff (tests pass a stub).
+    """
+
+    def __init__(self, spec, config: SimConfig | None = None, *,
+                 policy: RetryPolicy | None = None, store=None,
+                 faults=None, registry: MetricsRegistry | None = None,
+                 recorder: SpanRecorder | None = None,
+                 setup=None, sleep=time.sleep) -> None:
+        self.spec = spec
+        self.config = config if config is not None else SimConfig(viscosity=0.05)
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.recorder = recorder if recorder is not None else SpanRecorder()
+        self.faults = faults
+        self.setup = setup
+        self._sleep = sleep
+        self._tmp = None
+        if store is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-ckpt-")
+            store = CheckpointStore(self._tmp.name,
+                                    keep=self.policy.keep_checkpoints)
+        elif isinstance(store, (str, bytes)):
+            store = CheckpointStore(str(store),
+                                    keep=self.policy.keep_checkpoints)
+        self.store: CheckpointStore = store
+        self.sim: Simulation = self._build(self.config)
+        self.watchdog: HealthWatchdog = self._make_watchdog()
+
+    # -- construction / rebuilds ----------------------------------------------
+    def _build(self, config: SimConfig) -> Simulation:
+        sim = Simulation.from_config(self.spec, config)
+        sim.enable_tracing(self.recorder)
+        if self.faults is not None:
+            self.faults.install(sim)
+        if self.setup is not None:
+            self.setup(sim)
+        return sim
+
+    def _make_watchdog(self) -> HealthWatchdog:
+        return HealthWatchdog(self.sim, every=self.policy.watchdog_every,
+                              registry=self.registry)
+
+    def _rebuild(self, config: SimConfig) -> None:
+        """Swap in a fresh simulation built from ``config``.
+
+        The caller restores a checkpoint right after, so the rebuilt
+        (re-initialised) state never runs.
+        """
+        old, self.config = self.sim, config
+        old.close()
+        self.sim = self._build(config)
+        self.watchdog = self._make_watchdog()
+
+    @property
+    def mode(self) -> str:
+        return "threaded" if self.sim.executor is not None else "serial"
+
+    # -- counters --------------------------------------------------------------
+    def _count(self, name: str, help: str, amount: float = 1.0) -> None:
+        self.registry.counter(name, help).inc(amount)
+
+    # -- the recovery loop -----------------------------------------------------
+    def run(self, n_steps: int) -> RunReport:
+        """Advance ``n_steps`` coarse steps, recovering as needed.
+
+        Returns a :class:`RunReport`; raises :class:`RetryExhausted`
+        (report attached) when the budget and the ladder are spent.
+        Callable repeatedly — the checkpoint store and telemetry carry
+        over.
+        """
+        pol = self.policy
+        report = RunReport(target_step=self.sim.steps_done + int(n_steps),
+                           mode=self.mode, omega_scale=self._omega_scale())
+        if self.store.latest() is None:
+            # Step-0 anchor: the very first failure must have somewhere
+            # to roll back to.
+            self.store.save(self.sim, kind="initial")
+            report.checkpoints += 1
+            self._count("checkpoints_total", "checkpoints written")
+        attempts = 0
+        executor_strikes = 0
+        divergences = 0
+        while self.sim.steps_done < report.target_step:
+            segment_end = min(report.target_step,
+                              self.sim.steps_done + pol.checkpoint_every)
+            try:
+                self.sim.run_until(segment_end, callback=self.watchdog.callback)
+                # Validate *before* checkpointing: a poisoned state must
+                # never become a rollback target (the watchdog cadence
+                # may not have landed on this step).
+                self.watchdog.check()
+            except Exception as exc:
+                if (not isinstance(exc, _RECOVERABLE)
+                        and not hasattr(exc, "kernel_span")):
+                    raise
+                attempts += 1
+                self._recover(report, exc, attempts)
+                if attempts > pol.max_retries:
+                    # Budget spent on this rung: step down or give up
+                    # (raises RetryExhausted with the report attached).
+                    attempts = self._degrade_or_fail(report, exc)
+                    executor_strikes = divergences = 0
+                elif isinstance(exc, SimulationDiverged):
+                    divergences += 1
+                    if (divergences >= pol.divergences_before_safety
+                            and self._omega_scale() == 1.0):
+                        self._degrade_safety(report)
+                        attempts = executor_strikes = divergences = 0
+                elif self.sim.executor is not None:
+                    strikes_needed = (1 if isinstance(exc, WaveRaceError)
+                                      else pol.executor_failures_before_serial)
+                    executor_strikes += 1
+                    if executor_strikes >= strikes_needed:
+                        self._degrade_serial(report)
+                        attempts = executor_strikes = 0
+                self._rollback(report)
+                self._backoff(attempts)
+                continue
+            self.store.save(self.sim, kind="periodic")
+            report.checkpoints += 1
+            self._count("checkpoints_total", "checkpoints written")
+            attempts = 0
+        report.final_step = self.sim.steps_done
+        report.mode = self.mode
+        report.omega_scale = self._omega_scale()
+        report.outcome = "degraded" if report.degradations else "ok"
+        report.events = [e.as_dict() for e in self.recorder.events]
+        return report
+
+    # -- failure handling ------------------------------------------------------
+    def _recover(self, report: RunReport, exc: BaseException,
+                 attempt: int) -> None:
+        kind = self._classify(exc)
+        report.retries += 1
+        report.failures.append({
+            "step": self.sim.steps_done, "kind": kind,
+            "attempt": attempt, "mode": self.mode,
+            "error": f"{type(exc).__name__}: {exc}",
+        })
+        self._count("retries_total", "rollback-retries performed")
+        self.recorder.on_event("retry", kind=kind, step=self.sim.steps_done,
+                               attempt=attempt, mode=self.mode)
+
+    @staticmethod
+    def _classify(exc: BaseException) -> str:
+        if isinstance(exc, SimulationDiverged):
+            return "divergence"
+        if isinstance(exc, WaveRaceError):
+            return "race"
+        if isinstance(exc, DeviceOOMError):
+            return "oom"
+        return "kernel"
+
+    def _rollback(self, report: RunReport) -> None:
+        failed_at = self.sim.steps_done
+        restored = self.store.restore_latest(self.sim)
+        lost = max(0, failed_at - restored)
+        report.rollback_steps += lost
+        self._count("rollback_steps", "coarse steps recomputed after "
+                    "rollbacks", lost)
+        self.recorder.on_event("rollback", from_step=failed_at,
+                               to_step=restored, lost_steps=lost)
+
+    def _backoff(self, attempt: int) -> None:
+        pol = self.policy
+        if pol.backoff <= 0 or attempt < 1:
+            return
+        self._sleep(min(pol.backoff * pol.backoff_factor ** (attempt - 1),
+                        pol.max_backoff))
+
+    # -- the degradation ladder ------------------------------------------------
+    def _omega_scale(self) -> float:
+        return getattr(self, "_omega_scale_applied", 1.0)
+
+    def _degrade_serial(self, report: RunReport) -> None:
+        """Rung 1: drop the wave executor; bit-identical by construction."""
+        self.sim.disable_threading()
+        self.config = self.config.replace(threaded=False)
+        self._note_degradation(report, "serial")
+
+    def _degrade_safety(self, report: RunReport) -> None:
+        """Rung 2: rebuild with a reduced-omega (more viscous) profile."""
+        cfg = self.config
+        at_step = self.sim.steps_done
+        omega0 = (cfg.omega0 if cfg.omega0 is not None
+                  else omega_from_viscosity(cfg.viscosity))
+        scaled = omega0 * self.policy.omega_safety_scale
+        self._omega_scale_applied = (self._omega_scale()
+                                     * self.policy.omega_safety_scale)
+        self._rebuild(cfg.replace(viscosity=None, omega0=scaled))
+        self._note_degradation(report, "safety-omega", step=at_step,
+                               omega0=scaled)
+
+    def _note_degradation(self, report: RunReport, rung: str, **extra) -> None:
+        entry = {"rung": rung, "step": self.sim.steps_done, **extra}
+        report.degradations.append(entry)
+        self._count("degradations_total", "ladder rungs taken")
+        self.recorder.on_event("degrade", **entry)
+
+    def _degrade_or_fail(self, report: RunReport, exc: BaseException) -> int:
+        """Retry budget spent: step down a rung (returning a reset attempt
+        count of 0) or raise :class:`RetryExhausted`."""
+        if self.sim.executor is not None:
+            self._degrade_serial(report)
+            return 0
+        if isinstance(exc, SimulationDiverged) and self._omega_scale() == 1.0:
+            self._degrade_safety(report)
+            return 0
+        report.final_step = self.sim.steps_done
+        report.mode = self.mode
+        report.omega_scale = self._omega_scale()
+        report.outcome = "failed"
+        report.events = [e.as_dict() for e in self.recorder.events]
+        raise RetryExhausted(
+            f"gave up at step {self.sim.steps_done}/{report.target_step} "
+            f"after {report.retries} retries "
+            f"(last failure: {type(exc).__name__}: {exc})", report)
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Release executor threads and the temporary checkpoint dir."""
+        self.sim.close()
+        if self.faults is not None:
+            self.faults.uninstall()
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+
+    def __enter__(self) -> "ResilientRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,361 @@
+"""Resilience subsystem: fault injection, rollback-retry, degradation.
+
+The central claim mirrors the paper's determinism guarantees: a run that
+suffers a *transient* fault (field corruption, kernel failure, simulated
+device OOM) and recovers through checkpoint rollback finishes
+**bit-identical** to an unfaulted run — for every fusion config of
+Fig. 4 and in both serial and threaded execution (the matrix honours the
+ambient ``REPRO_THREADED``, so ``make test-threaded`` covers the
+deferred path).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimConfig
+from repro.core.fusion import ABLATION_CONFIGS, ORIGINAL_BASELINE
+from repro.core.simulation import Simulation
+from repro.gpu.memory import DeviceOOMError
+from repro.grid.geometry import wall_refinement
+from repro.grid.multigrid import DomainBC, FaceBC, RefinementSpec
+from repro.io.checkpoint import (CheckpointError, CheckpointStore,
+                                 restore_checkpoint, save_checkpoint)
+from repro.obs.watchdog import SimulationDiverged
+from repro.resilience import (Fault, FaultInjector, InjectedKernelError,
+                              ResilientRunner, RetryExhausted, RetryPolicy)
+
+ALL_CONFIGS = (ORIGINAL_BASELINE,) + tuple(ABLATION_CONFIGS)
+
+
+def cavity_spec():
+    base = (16, 16)
+    bc = DomainBC({"y+": FaceBC("moving", velocity=(0.06, 0.0))})
+    return RefinementSpec(base, wall_refinement(base, 2, [3.0]), bc=bc)
+
+
+def cavity_config(**overrides):
+    return SimConfig(lattice="D2Q9", viscosity=0.05, **overrides)
+
+
+def state(sim):
+    return [buf.f[:, :buf.n_owned].copy() for buf in sim.engine.levels]
+
+
+def identical(a, b):
+    return all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+def reference_state(spec, config, steps):
+    with Simulation.from_config(spec, config) as sim:
+        sim.run(steps)
+        return state(sim)
+
+
+# -- fault injection ----------------------------------------------------------
+
+class TestFaultInjector:
+    def test_nan_fault_fires_at_chosen_step_and_site(self):
+        spec = cavity_spec()
+        sim = Simulation.from_config(spec, cavity_config(threaded=False))
+        inj = FaultInjector([Fault("nan", step=3, level=1, cell=4, q=2)])
+        inj.install(sim)
+        sim.run(2)
+        assert sim.is_stable() and not inj.fired
+        sim.run(1)
+        assert not sim.is_stable()
+        assert np.isnan(sim.engine.levels[1].f[2, 4])
+        assert inj.fired == [{"kind": "nan", "step": 3, "level": 1,
+                              "cell": 4, "q": 2}]
+
+    def test_inf_fault(self):
+        sim = Simulation.from_config(cavity_spec(),
+                                     cavity_config(threaded=False))
+        FaultInjector([Fault("inf", step=1)]).install(sim)
+        sim.run(1)
+        assert np.isinf(sim.engine.levels[0].f[0, 0])
+
+    def test_nan_fault_trips_watchdog_at_injected_step(self):
+        sim = Simulation.from_config(cavity_spec(),
+                                     cavity_config(threaded=False))
+        FaultInjector([Fault("nan", step=3)]).install(sim)
+        with pytest.raises(SimulationDiverged) as exc:
+            sim.watchdog(every=1).watch(6)
+        assert exc.value.step == 3
+        assert exc.value.reason == "non-finite"
+
+    def test_kernel_fault_raises_and_aborts_step(self):
+        sim = Simulation.from_config(cavity_spec(),
+                                     cavity_config(threaded=False))
+        inj = FaultInjector([Fault("kernel", step=3)])
+        inj.install(sim)
+        with pytest.raises(InjectedKernelError):
+            sim.run(5)
+        assert sim.steps_done == 2  # the faulted step never completed
+        assert inj.fired[0]["kind"] == "kernel"
+
+    def test_oom_fault_raises_device_oom(self):
+        sim = Simulation.from_config(cavity_spec(),
+                                     cavity_config(threaded=False))
+        FaultInjector([Fault("oom", step=2)]).install(sim)
+        with pytest.raises(DeviceOOMError) as exc:
+            sim.run(5)
+        assert exc.value.requested > exc.value.capacity
+
+    def test_one_shot_fault_disarms_after_firing(self):
+        sim = Simulation.from_config(cavity_spec(),
+                                     cavity_config(threaded=False))
+        inj = FaultInjector([Fault("kernel", step=2, times=1)])
+        inj.install(sim)
+        with pytest.raises(InjectedKernelError):
+            sim.run(3)
+        assert not inj.faults[0].armed
+        sim.run(3)  # disarmed: runs clean
+        assert len(inj.fired) == 1
+
+    def test_kernel_name_filter(self):
+        sim = Simulation.from_config(cavity_spec(),
+                                     cavity_config(threaded=False))
+        inj = FaultInjector([Fault("kernel", step=1, kernel="SO", level=0)])
+        inj.install(sim)
+        with pytest.raises(InjectedKernelError) as exc:
+            sim.run(1)
+        assert exc.value.kernel == "SO" and exc.value.level == 0
+
+    def test_only_threaded_fault_is_inert_in_serial(self):
+        sim = Simulation.from_config(cavity_spec(),
+                                     cavity_config(threaded=False))
+        inj = FaultInjector([Fault("kernel", step=2, only_threaded=True)])
+        inj.install(sim)
+        sim.run(4)
+        assert not inj.fired and sim.steps_done == 4
+
+    def test_bad_fault_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Fault("segfault", step=1)
+        with pytest.raises(ValueError):
+            Fault("nan", step=0)
+
+
+# -- checkpoint store ---------------------------------------------------------
+
+class TestCheckpointStore:
+    def test_prunes_to_keep_last_k(self, tmp_path):
+        sim = Simulation.from_config(cavity_spec(),
+                                     cavity_config(threaded=False))
+        store = CheckpointStore(tmp_path / "ck", keep=2)
+        for _ in range(3):
+            sim.run(2)
+            store.save(sim)
+        assert store.steps() == [4, 6]
+        entries = store.manifest()["entries"]
+        assert [e["step"] for e in entries] == [4, 6]
+        assert entries[-1]["config"]["lattice"] == "D2Q9"
+
+    def test_restore_specific_generation(self, tmp_path):
+        sim = Simulation.from_config(cavity_spec(),
+                                     cavity_config(threaded=False))
+        store = CheckpointStore(tmp_path / "ck")
+        sim.run(2)
+        store.save(sim)
+        mid = state(sim)
+        sim.run(2)
+        store.save(sim)
+        other = Simulation.from_config(cavity_spec(),
+                                       cavity_config(threaded=False))
+        assert store.restore(other, 2) == 2
+        assert other.steps_done == 2
+        assert identical(mid, state(other))
+
+    def test_truncated_checkpoint_raises_structured_error(self, tmp_path):
+        # Regression: a torn/truncated file used to surface as a raw
+        # zipfile/EOF error mid-restore, after buffers were already
+        # partially overwritten.
+        sim = Simulation.from_config(cavity_spec(),
+                                     cavity_config(threaded=False))
+        sim.run(2)
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(sim, path)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[:len(blob) // 3])
+        before = state(sim)
+        with pytest.raises(CheckpointError) as exc:
+            restore_checkpoint(sim, path)
+        assert exc.value.path == path
+        # all-or-nothing: the failed restore touched no buffer
+        assert identical(before, state(sim))
+
+    def test_restore_latest_falls_back_over_torn_generation(self, tmp_path):
+        sim = Simulation.from_config(cavity_spec(),
+                                     cavity_config(threaded=False))
+        store = CheckpointStore(tmp_path / "ck")
+        sim.run(2)
+        store.save(sim)
+        good = state(sim)
+        sim.run(2)
+        newest = store.save(sim)
+        blob = open(newest, "rb").read()
+        open(newest, "wb").write(blob[:100])
+        other = Simulation.from_config(cavity_spec(),
+                                       cavity_config(threaded=False))
+        assert store.restore_latest(other) == 2
+        assert identical(good, state(other))
+
+    def test_all_generations_torn_raises(self, tmp_path):
+        sim = Simulation.from_config(cavity_spec(),
+                                     cavity_config(threaded=False))
+        store = CheckpointStore(tmp_path / "ck")
+        sim.run(1)
+        p = store.save(sim)
+        open(p, "wb").write(b"junk")
+        with pytest.raises(CheckpointError):
+            store.restore_latest(sim)
+
+    def test_empty_store_raises(self, tmp_path):
+        sim = Simulation.from_config(cavity_spec(),
+                                     cavity_config(threaded=False))
+        with pytest.raises(CheckpointError):
+            CheckpointStore(tmp_path / "ck").restore_latest(sim)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        sim = Simulation.from_config(cavity_spec(),
+                                     cavity_config(threaded=False))
+        store = CheckpointStore(tmp_path / "ck", keep=1)
+        for _ in range(3):
+            sim.run(1)
+            store.save(sim)
+        leftovers = [n for n in os.listdir(store.directory)
+                     if n.endswith(".tmp")]
+        assert leftovers == []
+
+
+# -- the recovery matrix ------------------------------------------------------
+
+@pytest.mark.parametrize("fusion", ALL_CONFIGS, ids=lambda c: c.name)
+@pytest.mark.parametrize("kind", ["nan", "kernel", "oom"])
+def test_recovery_bit_identical(fusion, kind):
+    """Every fusion config recovers bit-identically from every fault kind.
+
+    ``threaded`` is left at ``None`` so the ambient ``REPRO_THREADED``
+    decides the execution mode — the threaded CI lane runs this exact
+    matrix through the wave executor.
+    """
+    spec = cavity_spec()
+    config = cavity_config(fusion=fusion)
+    steps = 8
+    reference = reference_state(spec, config, steps)
+    injector = FaultInjector([Fault(kind, step=5)])
+    with ResilientRunner(spec, config, faults=injector,
+                         policy=RetryPolicy(checkpoint_every=3)) as runner:
+        report = runner.run(steps)
+        assert report.outcome == "ok"
+        assert report.retries == 1
+        assert len(injector.fired) == 1
+        assert identical(reference, state(runner.sim))
+
+
+def test_recovery_is_visible_in_telemetry():
+    spec = cavity_spec()
+    injector = FaultInjector([Fault("nan", step=4)])
+    with ResilientRunner(spec, cavity_config(), faults=injector,
+                         policy=RetryPolicy(checkpoint_every=3)) as runner:
+        report = runner.run(6)
+    assert runner.registry["retries_total"].value == 1
+    assert runner.registry["rollback_steps"].value >= 1
+    assert runner.registry["checkpoints_total"].value == report.checkpoints
+    names = [e.name for e in runner.recorder.events]
+    # events survive the trace reset the rollback performs
+    assert names.count("retry") == 1 and names.count("rollback") == 1
+    assert report.events and report.events[0]["name"] == "retry"
+
+
+def test_retry_budget_exhaustion_carries_report():
+    spec = cavity_spec()
+    injector = FaultInjector([Fault("kernel", step=3, times=-1)])
+    runner = ResilientRunner(spec, cavity_config(threaded=False),
+                             faults=injector,
+                             policy=RetryPolicy(max_retries=2,
+                                                checkpoint_every=3))
+    with runner:
+        with pytest.raises(RetryExhausted) as exc:
+            runner.run(6)
+    report = exc.value.report
+    assert report.outcome == "failed"
+    assert report.retries == 3  # initial try + 2 retries all failed
+    assert report.failures[-1]["kind"] == "kernel"
+
+
+def test_ladder_falls_back_to_serial_and_stays_bit_identical():
+    spec = cavity_spec()
+    config = cavity_config(threaded=True)
+    steps = 8
+    reference = reference_state(spec, cavity_config(threaded=False), steps)
+    injector = FaultInjector([Fault("kernel", step=5, times=-1,
+                                    only_threaded=True)])
+    with ResilientRunner(spec, config, faults=injector,
+                         policy=RetryPolicy(
+                             checkpoint_every=3,
+                             executor_failures_before_serial=2)) as runner:
+        report = runner.run(steps)
+        assert report.outcome == "degraded"
+        assert report.mode == "serial"
+        assert [d["rung"] for d in report.degradations] == ["serial"]
+        assert runner.config.threaded is False
+        assert identical(reference, state(runner.sim))
+        assert runner.registry["degradations_total"].value == 1
+
+
+def test_ladder_rebuilds_with_safety_omega_on_repeated_divergence():
+    spec = cavity_spec()
+    # The fault fires twice, pushing the divergence count to the ladder
+    # threshold, then disarms — the safety rerun completes.
+    injector = FaultInjector([Fault("nan", step=4, times=2)])
+    policy = RetryPolicy(checkpoint_every=3, divergences_before_safety=2,
+                         omega_safety_scale=0.8)
+    with ResilientRunner(spec, cavity_config(threaded=False),
+                         faults=injector, policy=policy) as runner:
+        omega_before = runner.sim.engine.omega[0]
+        report = runner.run(6)
+        assert report.outcome == "degraded"
+        assert report.omega_scale == pytest.approx(0.8)
+        assert [d["rung"] for d in report.degradations] == ["safety-omega"]
+        assert runner.sim.engine.omega[0] == pytest.approx(0.8 * omega_before)
+        assert runner.sim.steps_done == 6 and runner.sim.is_stable()
+
+
+def test_backoff_schedule_uses_injected_sleep():
+    spec = cavity_spec()
+    naps = []
+    injector = FaultInjector([Fault("kernel", step=2, times=3)])
+    policy = RetryPolicy(max_retries=5, checkpoint_every=2, backoff=0.5,
+                         backoff_factor=2.0, max_backoff=1.5)
+    with ResilientRunner(spec, cavity_config(threaded=False),
+                         faults=injector, policy=policy,
+                         sleep=naps.append) as runner:
+        report = runner.run(4)
+    assert report.outcome == "ok"
+    assert naps == [0.5, 1.0, 1.5]  # geometric, capped at max_backoff
+
+
+def test_runner_uses_provided_store_directory(tmp_path):
+    spec = cavity_spec()
+    with ResilientRunner(spec, cavity_config(threaded=False),
+                         store=str(tmp_path / "ck"),
+                         policy=RetryPolicy(checkpoint_every=2)) as runner:
+        runner.run(4)
+        assert runner.store.steps()  # persisted under the given directory
+        assert (tmp_path / "ck" / "manifest.json").exists()
+
+
+def test_unrecognised_exception_propagates():
+    spec = cavity_spec()
+
+    def explode(sim):
+        raise KeyError("not a kernel failure")
+
+    runner = ResilientRunner(spec, cavity_config(threaded=False))
+    runner.watchdog.callback = explode
+    with runner:
+        with pytest.raises(KeyError):
+            runner.run(2)
