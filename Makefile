@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-threaded lint analysis threaded-check obs resilience-check check
+.PHONY: test test-threaded lint lint-strict analysis static-check threaded-check obs resilience-check check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,8 +26,23 @@ lint:
 		echo "mypy not installed -- skipping (pip install -e '.[lint]')"; \
 	fi
 
+# CI variant of `lint`: the tools are mandatory.  CI installs them
+# unconditionally (pip install -e ".[lint]"), so a missing tool there is
+# an environment bug, not something to skip over.
+lint-strict:
+	@command -v ruff >/dev/null 2>&1 || { echo "lint-strict: ruff not installed"; exit 1; }
+	@command -v mypy >/dev/null 2>&1 || { echo "lint-strict: mypy not installed"; exit 1; }
+	ruff check src tests benchmarks examples
+	mypy
+
 analysis:
 	$(PYTHON) -m repro.analysis --all-configs
+
+# Declaration-only gate: symbolic access sets, fusion-legality proofs,
+# lint pass, step-plan certificates, static ⊇ dynamic cross-check and
+# the seeded-illegal negative control.
+static-check:
+	$(PYTHON) -m repro.analysis --static --all-configs --cert-dir certificates
 
 # Race-gate every config's captured schedule AND verify the threaded
 # wave executor reproduces serial results bit-for-bit.
@@ -45,4 +60,4 @@ obs:
 resilience-check:
 	$(PYTHON) -m repro.resilience --out resilience-artifacts
 
-check: lint test test-threaded threaded-check resilience-check
+check: lint test test-threaded threaded-check static-check resilience-check

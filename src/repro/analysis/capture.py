@@ -54,7 +54,9 @@ class Access:
     nbytes: int
 
     def overlaps(self, other: "Access") -> bool:
-        return self.lo < other.hi and other.lo < self.hi
+        # max/min form: an empty interval [x,x) overlaps nothing, even
+        # when x lies strictly inside the other interval
+        return max(self.lo, other.lo) < min(self.hi, other.hi)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         where = f"{self.field}[{self.lo}:{self.hi}]" if self.field else "meta"

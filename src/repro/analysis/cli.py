@@ -20,7 +20,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Sequence
+from typing import Any, Sequence, TextIO
 
 from ..bench.workloads import lid_cavity
 from ..core.fusion import ABLATION_CONFIGS, ORIGINAL_BASELINE, FusionConfig, get_config
@@ -31,14 +31,14 @@ from .races import detect_races
 from .verify import verify_trace
 
 __all__ = ["ALL_CONFIGS", "lint_config", "main", "small_workloads",
-           "threaded_check"]
+           "static_check", "threaded_check"]
 
 #: Every configuration the linter gates: the Fig. 9 ablation plus the
 #: original (Fig. 4a) baseline.
 ALL_CONFIGS: tuple[FusionConfig, ...] = (ORIGINAL_BASELINE,) + ABLATION_CONFIGS
 
 
-def small_workloads() -> dict[str, dict]:
+def small_workloads() -> dict[str, dict[str, Any]]:
     """Small-but-representative multigrid workloads for functional linting.
 
     Both exercise moving-wall + no-slip boundaries and every cross-level
@@ -52,7 +52,7 @@ def small_workloads() -> dict[str, dict]:
 
 
 def lint_config(config: FusionConfig, workload: str = "cavity2d-2lvl",
-                steps: int = 2) -> dict:
+                steps: int = 2) -> dict[str, Any]:
     """Run one config on one workload under capture; return a report dict."""
     wl_kwargs = small_workloads()[workload]
     wl = lid_cavity(**wl_kwargs)
@@ -102,7 +102,7 @@ def threaded_check(config: FusionConfig, workload: str = "cavity2d-2lvl",
     wl_kwargs = small_workloads()[workload]
     wl = lid_cavity(**wl_kwargs)
 
-    def _state(threaded: bool):
+    def _state(threaded: bool) -> list[tuple[Any, Any, Any]]:
         sim = Simulation.from_config(
             wl.spec, wl.sim_config(fusion=config, threaded=threaded,
                                    executor_debug=True))
@@ -116,8 +116,139 @@ def threaded_check(config: FusionConfig, workload: str = "cavity2d-2lvl",
                for a, b in zip(sl, tl))
 
 
+def static_check(config: FusionConfig, workload: str = "cavity2d-2lvl",
+                 steps: int = 2, cert_dir: str | None = None) -> dict[str, Any]:
+    """Declaration-only analysis of one config; returns a report dict.
+
+    Gates (each failure is a ``problem``):
+
+    1. the plan-only stream equals the executing stream record-for-record
+       (the declarations the analyzer saw are the declarations that run);
+    2. symbolic access sets reproduce every declaration exactly
+       (:func:`~repro.analysis.static.verify_static`);
+    3. static access sets ⊇ dynamically captured ones (soundness of the
+       static model);
+    4. the fusion is proved a legal contraction of the modified baseline
+       (:func:`~repro.analysis.static.prove_fusion_legality`);
+    5. the lint pass reports no ``error``-severity findings;
+    6. the emitted certificate validates against the live stream.
+
+    With ``cert_dir``, the step-plan certificate is written there as
+    ``<config>--<workload>.json``.
+    """
+    from .certificate import build_certificate, validate_certificate, \
+        write_certificate
+    from .lint import lint_stream
+    from .static import plan_stream, prove_fusion_legality, \
+        superset_findings, verify_static
+
+    wl_kwargs = small_workloads()[workload]
+    records, model = plan_stream(config, wl_kwargs, steps=steps)
+
+    wl = lid_cavity(**wl_kwargs)
+    rt = Runtime()
+    rt.capture_start()
+    sim = Simulation.from_config(wl.spec, wl.sim_config(fusion=config),
+                                 runtime=rt)
+    sim.run(steps)
+    captured = rt.capture_stop()
+
+    stream_mismatch = list(rt.records) != records
+    static_map = model.access_map(records)
+    findings = verify_static(records, model)
+    superset = superset_findings(records, captured, static_map)
+    proof = prove_fusion_legality(config, wl_kwargs, steps=steps)
+    lint = lint_stream(records, model)
+    cert = build_certificate(config.name, workload, records, model, proof,
+                             lint, steps)
+    cert_problems = validate_certificate(cert, records)
+    cert_path = None
+    if cert_dir is not None:
+        cert_path = str(write_certificate(
+            cert, f"{cert_dir}/{config.name}--{workload}.json"))
+
+    aa = [f for f in lint.opportunities if f.check == "aa-double-buffer"]
+    return {
+        "config": config.name,
+        "workload": workload,
+        "steps": steps,
+        "kernels": len(records),
+        "stream_mismatch": stream_mismatch,
+        "findings": [str(f) for f in findings],
+        "superset": superset,
+        "verdict": proof.verdict,
+        "pairs_checked": proof.pairs_checked,
+        "counterexamples": [str(c) for c in proof.counterexamples],
+        "lint_errors": [str(f) for f in lint.errors],
+        "lint_opportunities": len(lint.opportunities),
+        "aa_bytes_saved": sum(f.bytes_saved for f in aa),
+        "certificate_problems": cert_problems,
+        "certificate": cert_path,
+    }
+
+
+def _static_negative_control(workload: str, steps: int) -> dict[str, Any]:
+    """The seeded-illegal gate: a swapped declaration must be rejected."""
+    from .static import seeded_illegal_proof
+
+    proof = seeded_illegal_proof(small_workloads()[workload], steps=steps)
+    return {
+        "workload": workload,
+        "verdict": proof.verdict,
+        "rejected": proof.verdict == "illegal" and bool(proof.counterexamples),
+        "counterexamples": [str(c) for c in proof.counterexamples],
+    }
+
+
+def _static_problems(report: dict[str, Any]) -> int:
+    return ((1 if report["stream_mismatch"] else 0)
+            + len(report["findings"]) + len(report["superset"])
+            + (0 if report["verdict"] in ("legal", "baseline") else 1)
+            + len(report["lint_errors"]) + len(report["certificate_problems"]))
+
+
+def _run_static(configs: Sequence[FusionConfig], workloads: Sequence[str],
+                steps: int, cert_dir: str | None,
+                out: TextIO) -> tuple[list[dict[str, Any]], int]:
+    reports = []
+    total = 0
+    for cfg in configs:
+        for wl in workloads:
+            rep = static_check(cfg, wl, steps=steps, cert_dir=cert_dir)
+            reports.append(rep)
+            n = _static_problems(rep)
+            total += n
+            status = "OK" if n == 0 else "FAIL"
+            print(f"[{status}] static {rep['config']:>14s} x "
+                  f"{rep['workload']:<14s} kernels={rep['kernels']:4d} "
+                  f"verdict={rep['verdict']:8s} "
+                  f"pairs={rep['pairs_checked']:4d} "
+                  f"aa-saves={rep['aa_bytes_saved']} B", file=out)
+            for msg in (rep["findings"] + rep["superset"]
+                        + rep["lint_errors"] + rep["certificate_problems"]):
+                print(f"    {msg}", file=out)
+            if rep["stream_mismatch"]:
+                print("    plan-only stream differs from executing stream",
+                      file=out)
+            if rep["verdict"] == "illegal":
+                for c in rep["counterexamples"]:
+                    print(f"    counterexample: {c}", file=out)
+    controls = []
+    for wl in workloads:
+        ctl = _static_negative_control(wl, steps)
+        controls.append(ctl)
+        if not ctl["rejected"]:
+            total += 1
+            print(f"[FAIL] seeded illegal fusion NOT rejected on {wl}",
+                  file=out)
+        else:
+            print(f"[OK] seeded illegal fusion rejected on {wl}: "
+                  f"{ctl['counterexamples'][0]}", file=out)
+    return reports + [{"negative_controls": controls}], total
+
+
 def _run_reports(configs: Sequence[FusionConfig], workloads: Sequence[str],
-                 steps: int, threaded: bool = False) -> list[dict]:
+                 steps: int, threaded: bool = False) -> list[dict[str, Any]]:
     reports = []
     for cfg in configs:
         for wl in workloads:
@@ -128,13 +259,13 @@ def _run_reports(configs: Sequence[FusionConfig], workloads: Sequence[str],
     return reports
 
 
-def _problems(report: dict) -> int:
+def _problems(report: dict[str, Any]) -> int:
     return (len(report["findings"]) + len(report["races"])
             + len(report["refined_races"]) + (0 if report["stable"] else 1)
             + (0 if report.get("threaded_identical", True) else 1))
 
 
-def _print_text(reports: list[dict], out) -> None:
+def _print_text(reports: list[dict[str, Any]], out: TextIO) -> None:
     for rep in reports:
         status = "OK" if _problems(rep) == 0 else "FAIL"
         print(f"[{status}] {rep['config']:>14s} x {rep['workload']:<14s} "
@@ -175,6 +306,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--threaded", action="store_true",
                         help="also verify the threaded wave executor is "
                              "bit-identical to serial execution")
+    parser.add_argument("--static", action="store_true",
+                        help="declaration-only mode: symbolic access sets, "
+                             "fusion-legality proofs, lint pass, step-plan "
+                             "certificates and the static ⊇ dynamic "
+                             "cross-check (plus a seeded-illegal control)")
+    parser.add_argument("--cert-dir", default=None, metavar="DIR",
+                        help="with --static: write step-plan certificates "
+                             "to DIR (one JSON per config x workload)")
     parser.add_argument("--json", action="store_true",
                         help="emit a machine-readable JSON report")
     args = parser.parse_args(argv)
@@ -187,6 +326,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:
         configs = list(ALL_CONFIGS)
     workloads = args.workload or sorted(small_workloads())
+
+    if args.static:
+        out = sys.stderr if args.json else sys.stdout
+        reports, total = _run_static(configs, workloads, args.steps,
+                                     args.cert_dir, out)
+        if args.json:
+            json.dump({"runs": reports, "total_problems": total}, sys.stdout,
+                      indent=2)
+            print()
+        else:
+            print(f"{len(reports) - 1} static runs, {total} problem(s)")
+        return 1 if total else 0
 
     reports = _run_reports(configs, workloads, args.steps,
                            threaded=args.threaded)

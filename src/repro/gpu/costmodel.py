@@ -24,7 +24,7 @@ from ..neon.runtime import KernelRecord
 from .device import DeviceSpec
 
 __all__ = ["KernelCost", "TraceCost", "kernel_time_us", "cost_trace",
-           "predicted_mlups", "FLOPS_PER_CELL"]
+           "predicted_mlups", "traffic_time_us", "FLOPS_PER_CELL"]
 
 #: Per-cell double-precision flop estimates by kernel family.  Collision
 #: dominates (equilibrium + relaxation); KBC roughly triples BGK.  These
@@ -60,6 +60,17 @@ class TraceCost:
     def per_step(self, n_steps: int) -> float:
         """Simulated microseconds per coarse step."""
         return self.total_us / n_steps
+
+
+def traffic_time_us(nbytes: int, device: DeviceSpec) -> float:
+    """DRAM time of moving ``nbytes`` at the device's sustained bandwidth.
+
+    The bytes-saved -> time-saved conversion the static linter uses to
+    price an optimization opportunity (e.g. the double-buffer traffic an
+    AA-pattern rewrite would eliminate), kept consistent with the
+    roofline memory term of :func:`kernel_time_us`.
+    """
+    return nbytes / device.effective_bandwidth
 
 
 def kernel_time_us(rec: KernelRecord, device: DeviceSpec,

@@ -1,10 +1,12 @@
 """Mini-Neon programming-model substrate: runtime, trace, dependency graphs."""
 
 from .executor import WaveExecutor, WaveRaceError, default_workers
-from .graph import (build_dependency_graph, graph_stats, schedule_records,
-                    schedule_waves)
+from .graph import (ConflictPair, build_dependency_graph, graph_stats,
+                    iter_conflict_pairs, schedule_records, schedule_waves,
+                    stream_assignment)
 from .runtime import FieldRef, KernelRecord, Runtime
 
-__all__ = ["build_dependency_graph", "graph_stats", "schedule_records",
-           "schedule_waves", "FieldRef", "KernelRecord", "Runtime",
+__all__ = ["ConflictPair", "build_dependency_graph", "graph_stats",
+           "iter_conflict_pairs", "schedule_records", "schedule_waves",
+           "stream_assignment", "FieldRef", "KernelRecord", "Runtime",
            "WaveExecutor", "WaveRaceError", "default_workers"]

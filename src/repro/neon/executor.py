@@ -41,8 +41,12 @@ import os
 import weakref
 from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
+from typing import Any, Callable, Iterable
 
 from .graph import schedule_records
+
+#: ``(record_index, body)`` pairs captured by the deferred launch path.
+Pending = list[tuple[int, "Callable[[], None] | None"]]
 
 __all__ = ["WaveExecutor", "WaveRaceError", "default_workers"]
 
@@ -50,7 +54,7 @@ __all__ = ["WaveExecutor", "WaveRaceError", "default_workers"]
 class WaveRaceError(RuntimeError):
     """The debug gate found same-wave kernels with conflicting accesses."""
 
-    def __init__(self, races) -> None:
+    def __init__(self, races: Iterable[Any]) -> None:
         self.races = list(races)
         lines = "\n  ".join(str(r) for r in self.races)
         super().__init__(
@@ -70,7 +74,7 @@ def default_workers() -> int:
     return max(2, min(8, os.cpu_count() or 1))
 
 
-def _timed(fn):
+def _timed(fn: Callable[[], None] | None) -> tuple[float, float]:
     """Run one kernel body; return ``(start, duration)`` in seconds.
 
     On failure the timing rides along on the exception so the caller can
@@ -81,7 +85,7 @@ def _timed(fn):
         if fn is not None:
             fn()
     except BaseException as exc:
-        exc._wave_timing = (t0, perf_counter() - t0)
+        setattr(exc, "_wave_timing", (t0, perf_counter() - t0))
         raise
     return t0, perf_counter() - t0
 
@@ -118,10 +122,10 @@ class WaveExecutor:
             raise ValueError("max_workers must be >= 1")
         self.debug = bool(debug)
         #: Per-flush execution stats consumed by ``repro.obs.metrics``.
-        self.stats: list[dict] = []
+        self.stats: list[dict[str, Any]] = []
         self._pool: ThreadPoolExecutor | None = None
-        self._finalizer = None
-        self._verified: set[tuple] = set()
+        self._finalizer: weakref.finalize | None = None
+        self._verified: set[tuple[Any, ...]] = set()
 
     # -- pool lifecycle ------------------------------------------------------
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -143,7 +147,7 @@ class WaveExecutor:
             pool.shutdown(wait=True)
 
     # -- execution -----------------------------------------------------------
-    def execute(self, runtime, pending: list[tuple[int, object]]) -> None:
+    def execute(self, runtime: Any, pending: Pending) -> None:
         """Run the deferred bodies of one flush (called by ``Runtime.flush``).
 
         ``pending`` holds ``(record_index, body)`` pairs for the tail of
@@ -159,7 +163,8 @@ class WaveExecutor:
                 return
         self._run_waves(runtime, pending, waves)
 
-    def _run_waves(self, runtime, pending, waves) -> None:
+    def _run_waves(self, runtime: Any, pending: Pending,
+                   waves: list[list[int]]) -> None:
         t_flush = perf_counter()
         timings: dict[int, tuple[float, float]] = {}
         wave_ms: list[float] = []
@@ -193,7 +198,8 @@ class WaveExecutor:
             "workers": self.max_workers,
         })
 
-    def _gate(self, runtime, pending, records, waves) -> None:
+    def _gate(self, runtime: Any, pending: Pending, records: list[Any],
+              waves: list[list[int]]) -> None:
         """Serial capture replay + race check of a new step shape."""
         from ..analysis.capture import AccessTracer
         from ..analysis.races import detect_races
@@ -201,7 +207,7 @@ class WaveExecutor:
         t_flush = perf_counter()
         tracer = AccessTracer()
         prev, runtime.tracer = runtime.tracer, tracer
-        accesses: dict[int, list] = {}
+        accesses: dict[int, list[Any]] = {}
         timings: dict[int, tuple[float, float]] = {}
         try:
             for k, (_, fn) in enumerate(pending):
@@ -226,7 +232,9 @@ class WaveExecutor:
             raise WaveRaceError(races)
 
     # -- error / span plumbing -----------------------------------------------
-    def _fail(self, runtime, pending, timings, failures) -> None:
+    def _fail(self, runtime: Any, pending: Pending,
+              timings: dict[int, tuple[float, float]],
+              failures: list[tuple[int, BaseException]]) -> None:
         """Truncate the trace at the first failed kernel and re-raise.
 
         Bodies of the same wave may already have executed (their effects
@@ -239,10 +247,10 @@ class WaveExecutor:
         rec = runtime.records[idx_bad]
         self._report_spans(runtime, pending, timings, upto=k_bad)
         start, dur = getattr(exc, "_wave_timing", (0.0, 0.0))
-        exc.kernel_span = {
+        setattr(exc, "kernel_span", {
             "index": idx_bad, "name": rec.name, "level": rec.level,
             "n_cells": rec.n_cells, "start": start, "dur_us": dur * 1e6,
-        }
+        })
         del runtime.records[idx_bad:]
         self.stats.append({
             "mode": "error", "kernels": k_bad, "waves": 0, "wave_ms": [],
@@ -251,7 +259,9 @@ class WaveExecutor:
         raise exc
 
     @staticmethod
-    def _report_spans(runtime, pending, timings, upto: int | None = None) -> None:
+    def _report_spans(runtime: Any, pending: Pending,
+                      timings: dict[int, tuple[float, float]],
+                      upto: int | None = None) -> None:
         """Forward measured body timings to the installed span recorder.
 
         Called from the main thread only, in record order, so the

@@ -20,21 +20,52 @@ sibling writes another without serialising the pair.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Any, Iterator, Mapping, NamedTuple, Sequence
 
 import networkx as nx
 
-from .runtime import KernelRecord
+from .runtime import FieldRef, KernelRecord
 
-__all__ = ["build_dependency_graph", "graph_stats", "schedule_records",
-           "schedule_waves", "stream_assignment"]
+#: Observed or statically inferred accesses per record index.  Values
+#: are duck-typed (:class:`repro.analysis.capture.Access` or
+#: :class:`repro.analysis.static.StaticAccess`): anything with
+#: ``field``/``kind``/``lo``/``hi`` attributes.
+AccessMap = Mapping[int, Sequence[Any]]
+
+__all__ = ["ConflictPair", "build_dependency_graph", "graph_stats",
+           "iter_conflict_pairs", "schedule_records", "schedule_waves",
+           "stream_assignment"]
 
 _ATOMIC = "atomic"
 _META = "meta"
 
 
-def _side_accesses(access_map: Mapping[int, Sequence], idx: int, ref,
-                   want_write: bool) -> list | None:
+def _access_overlap(a: Any, b: Any) -> bool:
+    """True when two accesses can touch a common buffer entry.
+
+    The coarse test is half-open row-interval intersection (``[lo, hi)``
+    intervals that merely *touch* — ``[a,b)`` vs ``[b,c)`` — do not
+    conflict, and an *empty* interval ``[x,x)`` conflicts with nothing,
+    even when ``x`` lies inside the other interval — which the classic
+    two-clause test ``a.lo < b.hi and b.lo < a.hi`` gets wrong).
+    Accesses may additionally carry an ``entries`` attribute
+    (an exact set of touched entry ids, used by the static analyzer for
+    small scatter/gather patches): when **both** sides are exact the
+    bounding intervals are only an envelope and the sets decide —
+    interleaved-but-disjoint patches (e.g. Explosion vs Coalescence
+    writes into the same ``f`` buffer) correctly do not conflict.
+    """
+    if not max(a.lo, b.lo) < min(a.hi, b.hi):
+        return False
+    ea = getattr(a, "entries", None)
+    eb = getattr(b, "entries", None)
+    if ea is not None and eb is not None:
+        return not ea.isdisjoint(eb)
+    return True
+
+
+def _side_accesses(access_map: AccessMap, idx: int, ref: FieldRef,
+                   want_write: bool) -> list[Any] | None:
     """Observed accesses of record ``idx`` on ``ref``, or None if unknown.
 
     ``None`` (record not captured, or captured with no access to a field
@@ -49,8 +80,8 @@ def _side_accesses(access_map: Mapping[int, Sequence], idx: int, ref,
     return out or None
 
 
-def _refs_conflict(access_map: Mapping[int, Sequence], i: int, i_writes: bool,
-                   j: int, j_writes: bool, ref) -> bool:
+def _refs_conflict(access_map: AccessMap, i: int, i_writes: bool,
+                   j: int, j_writes: bool, ref: FieldRef) -> bool:
     """Row-interval conflict test between two kernels on one field."""
     a_side = _side_accesses(access_map, i, ref, i_writes)
     b_side = _side_accesses(access_map, j, ref, j_writes)
@@ -60,14 +91,70 @@ def _refs_conflict(access_map: Mapping[int, Sequence], i: int, i_writes: bool,
         for b in b_side:
             if a.kind == _ATOMIC and b.kind == _ATOMIC:
                 continue  # commutative atomic adds
-            if a.lo < b.hi and b.lo < a.hi:
+            if _access_overlap(a, b):
                 return True
     return False
 
 
+class ConflictPair(NamedTuple):
+    """One ordered conflicting access pair ``records[i]`` -> ``records[j]``.
+
+    ``dep`` is the hazard class (``"raw"``/``"war"``/``"waw"``), ``ref``
+    the :class:`~repro.neon.runtime.FieldRef` both kernels touch.  The
+    program order ``i < j`` is the happens-before the serial semantics
+    guarantees; any schedule (fused, threaded, compiled) must reproduce
+    it for every pair this enumeration yields.
+    """
+
+    i: int
+    j: int
+    dep: str
+    ref: FieldRef
+
+
+def iter_conflict_pairs(records: Sequence[KernelRecord],
+                        access_map: AccessMap | None = None,
+                        ) -> Iterator[ConflictPair]:
+    """Enumerate *every* conflicting ordered pair of a kernel stream.
+
+    Unlike :func:`build_dependency_graph` (which keeps only the edges a
+    scheduler needs — last writer / readers since last write), this walks
+    all ``i < j`` pairs sharing a declared field, so transitively implied
+    conflicts are reported too.  This is the ground truth the static
+    fusion-legality proof checks a contracted stream against: a valid
+    contraction preserves the order of each of these pairs, not merely
+    the pruned edge set.
+
+    With an ``access_map`` (observed or statically inferred accesses),
+    pairs are refined to row-interval / exact-entry granularity and
+    commutative atomic-atomic pairs are dropped, exactly as in
+    interval-refined graph construction.
+    """
+    for j, rj in enumerate(records):
+        jr, jw = set(rj.reads), set(rj.writes)
+        for i in range(j):
+            ri = records[i]
+            for ref in jr | jw:
+                i_reads = ref in ri.reads
+                i_writes = ref in ri.writes
+                if not (i_reads or i_writes):
+                    continue
+                deps: list[str] = []
+                if i_writes and ref in jr:
+                    deps.append("raw")
+                if i_reads and ref in jw:
+                    deps.append("war")
+                if i_writes and ref in jw:
+                    deps.append("waw")
+                for dep in deps:
+                    if access_map is None or _refs_conflict(
+                            access_map, i, dep != "war", j, dep != "raw", ref):
+                        yield ConflictPair(i, j, dep, ref)
+
+
 def build_dependency_graph(records: list[KernelRecord],
                            reduce: bool = True,
-                           access_map: Mapping[int, Sequence] | None = None,
+                           access_map: AccessMap | None = None,
                            ) -> nx.DiGraph:
     """DAG over a kernel trace; node ``i`` is ``records[i]``.
 
@@ -82,8 +169,8 @@ def build_dependency_graph(records: list[KernelRecord],
     for i, r in enumerate(records):
         g.add_node(i, label=f"{r.name}{r.level}", name=r.name, level=r.level)
     if access_map is None:
-        last_writer: dict[object, int] = {}
-        readers_since_write: dict[object, list[int]] = {}
+        last_writer: dict[FieldRef, int] = {}
+        readers_since_write: dict[FieldRef, list[int]] = {}
         for i, r in enumerate(records):
             for ref in r.reads:
                 if ref in last_writer:
@@ -103,8 +190,8 @@ def build_dependency_graph(records: list[KernelRecord],
         # live — keep full logs instead of only the most recent writer.
         # Redundant (transitively implied) edges are harmless; the
         # transitive reduction removes them.
-        writers: dict[object, list[int]] = {}
-        readers: dict[object, list[int]] = {}
+        writers: dict[FieldRef, list[int]] = {}
+        readers: dict[FieldRef, list[int]] = {}
         for i, r in enumerate(records):
             for ref in r.reads:
                 for j in writers.get(ref, ()):  # RAW
@@ -147,7 +234,7 @@ def schedule_waves(g: nx.DiGraph) -> list[list[int]]:
 
 
 def schedule_records(records: list[KernelRecord],
-                     access_map: Mapping[int, Sequence] | None = None,
+                     access_map: AccessMap | None = None,
                      ) -> list[list[int]]:
     """Waves of a record list in one call (graph build + ASAP partition).
 

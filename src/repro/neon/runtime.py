@@ -28,10 +28,15 @@ to immediate mode is automatic while access capture is active.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from time import perf_counter
+from typing import Any, Callable
 
 __all__ = ["FieldRef", "KernelRecord", "Runtime"]
+
+#: A kernel body: a no-argument closure over the engine's buffers (or
+#: ``None`` for declaration-only launches).
+KernelBody = Callable[[], None]
 
 
 @dataclass(frozen=True)
@@ -83,20 +88,20 @@ class Runtime:
         self.records: list[KernelRecord] = []
         self.markers: list[int] = []
         #: Active :class:`~repro.analysis.capture.AccessTracer`, or ``None``.
-        self.tracer = None
+        self.tracer: Any = None
         #: Observed accesses per record index (populated in capture mode).
-        self.captured: dict[int, list] = {}
+        self.captured: dict[int, list[Any]] = {}
         #: Active span recorder (see :mod:`repro.obs.spans`), or ``None``.
         #: Duck-typed so the runtime never imports the observability layer:
         #: ``on_launch(index, record, start, duration)`` after every launch,
         #: ``on_step(step_index, start_record, end_record)`` at each coarse-
         #: step marker, ``on_reset()`` on :meth:`reset`.  Spans are opt-in
         #: and, when absent, the hot path pays a single ``None`` test.
-        self.spans = None
+        self.spans: Any = None
         #: Installed :class:`~repro.neon.executor.WaveExecutor`, or ``None``
         #: (immediate execution).  Duck-typed: ``execute(runtime, pending)``
         #: and ``shutdown()``.
-        self.executor = None
+        self.executor: Any = None
         #: Active fault injector (see :mod:`repro.resilience.faults`), or
         #: ``None``.  Duck-typed like the span recorder so the runtime
         #: never imports the resilience layer: ``wrap_body(name, level,
@@ -104,17 +109,33 @@ class Runtime:
         #: fires after each coarse-step marker with the absolute
         #: completed-step count.  When absent the hot path pays a single
         #: ``None`` test.
-        self.faults = None
+        self.faults: Any = None
         #: Coarse steps completed before the current trace began (synced by
         #: checkpoint restore / post-warmup :meth:`reset`); per-step metrics
         #: subtract it so a restored run is not skewed by untraced history.
         self.steps_base = 0
-        self._pending: list[tuple[int, object]] = []
+        #: Plan-only mode (see :meth:`plan_start`): record launches without
+        #: ever running kernel bodies — the declaration stream the static
+        #: analyzer (:mod:`repro.analysis.static`) reasons about.
+        self.plan_only = False
+        self._pending: list[tuple[int, KernelBody | None]] = []
 
     def launch(self, name: str, level: int, *, n_cells: int,
                bytes_read: int, bytes_written: int,
                reads: tuple[FieldRef, ...] = (), writes: tuple[FieldRef, ...] = (),
-               atomic_bytes: int = 0, tag: str = "", fn=None) -> None:
+               atomic_bytes: int = 0, tag: str = "",
+               fn: KernelBody | None = None) -> None:
+        if self.plan_only:
+            # Declaration-only capture: the record is the whole launch.
+            # Bodies, tracers, executors and fault hooks are all bypassed —
+            # nothing observes or mutates simulation state, which is the
+            # property the static analyzer's "no execution" contract needs.
+            self.records.append(KernelRecord(
+                name=name, level=level, n_cells=int(n_cells),
+                bytes_read=int(bytes_read), bytes_written=int(bytes_written),
+                reads=tuple(reads), writes=tuple(writes),
+                atomic_bytes=int(atomic_bytes), tag=tag))
+            return
         if self.faults is not None:
             # The injector sees every launch and may wrap the body (to
             # raise a simulated kernel/OOM failure when it runs); the
@@ -202,7 +223,7 @@ class Runtime:
         else:
             self._drain_serial(pending)
 
-    def _drain_serial(self, pending: list[tuple[int, object]]) -> None:
+    def _drain_serial(self, pending: list[tuple[int, KernelBody | None]]) -> None:
         spans = self.spans
         for idx, fn in pending:
             t0 = perf_counter() if spans is not None else 0.0
@@ -211,9 +232,12 @@ class Runtime:
                     fn()
             except BaseException as exc:
                 rec = self.records[idx]
-                exc.kernel_span = {"index": idx, "name": rec.name,
-                                   "level": rec.level, "n_cells": rec.n_cells,
-                                   "start": t0, "dur_us": 0.0}
+                # dynamic attribute: the error contract shared with the
+                # wave executor (callers look for exc.kernel_span)
+                setattr(exc, "kernel_span",
+                        {"index": idx, "name": rec.name,
+                         "level": rec.level, "n_cells": rec.n_cells,
+                         "start": t0, "dur_us": 0.0})
                 del self.records[idx:]
                 raise
             if spans is not None:
@@ -238,7 +262,7 @@ class Runtime:
         if len(self.records) > start:
             self.step_marker()
 
-    def executor_install(self, executor) -> None:
+    def executor_install(self, executor: Any) -> None:
         """Install (or, with ``None``, remove) a wave executor.
 
         Pending bodies are flushed under the *previous* mode first, and a
@@ -253,7 +277,7 @@ class Runtime:
             old.shutdown()
 
     # -- fault hooks ---------------------------------------------------------
-    def faults_install(self, injector) -> None:
+    def faults_install(self, injector: Any) -> None:
         """Install (or, with ``None``, remove) a fault injector.
 
         Pending deferred bodies are flushed first so faults armed from
@@ -264,7 +288,7 @@ class Runtime:
         self.faults = injector
 
     # -- span hooks ----------------------------------------------------------
-    def spans_install(self, recorder) -> None:
+    def spans_install(self, recorder: Any) -> None:
         """Install (or, with ``None``, remove) a span recorder.
 
         The recorder receives wall-clock start/duration for every launch
@@ -273,6 +297,23 @@ class Runtime:
         """
         self.flush()  # queued bodies report to the recorder active at enqueue
         self.spans = recorder
+
+    # -- plan-only (declaration) capture -------------------------------------
+    def plan_start(self) -> None:
+        """Record declarations only: from now on no kernel body executes.
+
+        The resulting trace is the *static kernel stream* — identical
+        record-for-record to what an executing run would append (launch
+        declarations are computed from grid geometry before any body
+        runs), but produced without touching a single population value.
+        :mod:`repro.analysis.static` builds its proofs over such streams.
+        """
+        self.flush()
+        self.plan_only = True
+
+    def plan_stop(self) -> None:
+        """Leave plan-only mode; subsequent launches execute normally."""
+        self.plan_only = False
 
     # -- access capture ------------------------------------------------------
     def capture_start(self) -> None:
@@ -292,7 +333,7 @@ class Runtime:
             self.flush()
             self.tracer = AccessTracer()
 
-    def capture_stop(self) -> dict[int, list]:
+    def capture_stop(self) -> dict[int, list[Any]]:
         """Stop capturing; return (and keep) the accesses observed so far."""
         self.tracer = None
         return dict(self.captured)

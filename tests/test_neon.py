@@ -167,6 +167,92 @@ class TestGraphEdgeCases:
         assert g.number_of_edges() == 0
 
 
+class TestIntervalRefinement:
+    """Half-open interval semantics of the access-refined conflict test."""
+
+    @staticmethod
+    def _graph(span_a, span_b):
+        from repro.analysis.capture import Access
+        records = [rec("W", 0, writes=[F0]), rec("R", 0, reads=[F0])]
+        amap = {0: [Access(F0, "write", span_a[0], span_a[1], 8)],
+                1: [Access(F0, "read", span_b[0], span_b[1], 8)]}
+        return build_dependency_graph(records, reduce=False, access_map=amap)
+
+    def test_touching_half_open_intervals_do_not_conflict(self):
+        # [0,5) then [5,10): row 5 is in exactly one of them
+        assert self._graph((0, 5), (5, 10)).number_of_edges() == 0
+        assert self._graph((5, 10), (0, 5)).number_of_edges() == 0
+
+    def test_one_row_overlap_conflicts(self):
+        assert self._graph((0, 6), (5, 10)).number_of_edges() == 1
+
+    def test_identical_single_row_conflicts(self):
+        assert self._graph((5, 6), (5, 6)).number_of_edges() == 1
+
+    def test_empty_interval_never_conflicts(self):
+        assert self._graph((5, 5), (0, 10)).number_of_edges() == 0
+
+    def test_exact_entry_sets_refine_overlapping_envelopes(self):
+        # interleaved scatter patches: same bounding interval, disjoint
+        # entries — must not conflict; sharing one entry must
+        from repro.analysis.static import StaticAccess
+
+        def graph(e0, e1):
+            records = [rec("W", 0, writes=[F0]), rec("V", 0, writes=[F0])]
+            amap = {0: [StaticAccess(F0, "write", 0, 10, 8,
+                                     entries=frozenset(e0))],
+                    1: [StaticAccess(F0, "write", 0, 10, 8,
+                                     entries=frozenset(e1))]}
+            return build_dependency_graph(records, reduce=False,
+                                          access_map=amap)
+
+        assert graph({0, 2, 4}, {1, 3, 5}).number_of_edges() == 0
+        assert graph({0, 2, 4}, {1, 4, 5}).number_of_edges() == 1
+
+
+class TestDegenerateSchedules:
+    """stream_assignment / graph_stats on empty, single and serial graphs."""
+
+    def test_empty_stream(self):
+        from repro.neon.graph import stream_assignment
+        g = build_dependency_graph([])
+        assert stream_assignment(g) == {}
+        assert graph_stats(g)["mean_width"] == 0.0
+
+    def test_single_kernel(self):
+        from repro.neon.graph import stream_assignment
+        g = build_dependency_graph([rec("C", 0, reads=[F0], writes=[FS0])])
+        assert stream_assignment(g) == {0: (0, 0)}
+        stats = graph_stats(g)
+        assert stats == {"kernels": 1, "edges": 0, "depth": 1,
+                         "max_width": 1, "mean_width": 1.0}
+
+    def test_fully_serial_chain(self):
+        from repro.neon.graph import stream_assignment
+        n = 6
+        records = []
+        for k in range(n):
+            records.append(rec("C" if k % 2 == 0 else "S", 0,
+                               reads=[F0 if k % 2 == 0 else FS0],
+                               writes=[FS0 if k % 2 == 0 else F0]))
+        g = build_dependency_graph(records, reduce=False)
+        assign = stream_assignment(g)
+        # every kernel alone in its wave, always on stream 0
+        assert assign == {k: (k, 0) for k in range(n)}
+        stats = graph_stats(g)
+        assert stats["depth"] == n
+        assert stats["max_width"] == 1 and stats["mean_width"] == 1.0
+
+    def test_all_independent_single_wave(self):
+        from repro.neon.graph import stream_assignment
+        records = [rec("C", lv, reads=[FieldRef("f", lv)],
+                       writes=[FieldRef("fstar", lv)]) for lv in range(4)]
+        g = build_dependency_graph(records, reduce=False)
+        assign = stream_assignment(g)
+        assert assign == {k: (0, k) for k in range(4)}
+        assert graph_stats(g)["max_width"] == 4
+
+
 class TestGoldenKernelCounts:
     """Pin the Fig. 2 per-coarse-step launch counts (~3x reduction)."""
 

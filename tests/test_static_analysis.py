@@ -1,0 +1,362 @@
+"""Static kernel-stream analyzer: access sets, legality proofs, lint,
+certificates (repro.analysis.static / lint / certificate)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.capture import AccessTracer, READ, WRITE
+from repro.analysis.certificate import (CERTIFICATE_VERSION, build_certificate,
+                                        load_certificate, stream_digest,
+                                        validate_certificate,
+                                        write_certificate)
+from repro.analysis.cli import small_workloads, static_check
+from repro.analysis.lint import LintFinding, build_lifetimes, lint_stream
+from repro.analysis.static import (AccessModel, StaticAccess, check_contraction,
+                                   plan_stream, prove_fusion_legality,
+                                   seeded_illegal_proof, superset_findings,
+                                   swap_declaration, verify_static)
+from repro.bench.workloads import lid_cavity
+from repro.core.fusion import (ABLATION_CONFIGS, FUSE_SO, FUSED_FULL,
+                               MODIFIED_BASELINE, ORIGINAL_BASELINE)
+from repro.core.simulation import Simulation
+from repro.gpu.device import get_device
+from repro.gpu.memory import (BufferLifetime, arena_assign, arena_check,
+                              arena_peak_bytes)
+from repro.neon.runtime import FieldRef, KernelRecord, Runtime
+
+WL2D = dict(base=(20, 20), num_levels=2, lattice="D2Q9")
+WL3D = dict(base=(12, 12, 12), num_levels=3, lattice="D3Q19")
+ALL = (ORIGINAL_BASELINE,) + ABLATION_CONFIGS
+
+
+def rec(name, level=0, reads=(), writes=(), n_cells=4, bytes_read=0,
+        bytes_written=0, atomic_bytes=0):
+    return KernelRecord(name=name, level=level, n_cells=n_cells,
+                        bytes_read=bytes_read, bytes_written=bytes_written,
+                        reads=tuple(reads), writes=tuple(writes),
+                        atomic_bytes=atomic_bytes)
+
+
+def captured_run(config, wl_kwargs, steps=2):
+    wl = lid_cavity(**wl_kwargs)
+    rt = Runtime()
+    rt.capture_start()
+    sim = Simulation.from_config(wl.spec, wl.sim_config(fusion=config),
+                                 runtime=rt)
+    sim.run(steps)
+    return list(rt.records), rt.capture_stop()
+
+
+# ---------------------------------------------------------------- plan streams
+
+class TestPlanStream:
+    @pytest.mark.parametrize("config", ALL, ids=lambda c: c.name)
+    def test_plan_equals_executing_stream_2d(self, config):
+        records, _ = plan_stream(config, WL2D, steps=2)
+        executed, _ = captured_run(config, WL2D, steps=2)
+        assert records == executed
+
+    def test_plan_equals_executing_stream_3d(self):
+        records, _ = plan_stream(FUSED_FULL, WL3D, steps=2)
+        executed, _ = captured_run(FUSED_FULL, WL3D, steps=2)
+        assert records == executed
+
+    def test_plan_only_runs_no_bodies(self):
+        wl = lid_cavity(**WL2D)
+        rt = Runtime()
+        sim = Simulation.from_config(
+            wl.spec, wl.sim_config(fusion=MODIFIED_BASELINE), runtime=rt)
+        before = [lv.f.copy() for lv in sim.engine.levels]
+        rt.plan_start()
+        sim.run(2)
+        rt.plan_stop()
+        for lv, f0 in zip(sim.engine.levels, before):
+            assert (lv.f == f0).all()
+
+
+# ------------------------------------------------- static access verification
+
+class TestStaticAccessSets:
+    @pytest.mark.parametrize("config", ALL, ids=lambda c: c.name)
+    def test_static_sets_reproduce_declarations_2d(self, config):
+        records, model = plan_stream(config, WL2D, steps=2)
+        assert verify_static(records, model) == []
+
+    @pytest.mark.parametrize("config", (ORIGINAL_BASELINE, MODIFIED_BASELINE,
+                                        FUSED_FULL), ids=lambda c: c.name)
+    def test_static_sets_reproduce_declarations_3d(self, config):
+        records, model = plan_stream(config, WL3D, steps=2)
+        assert verify_static(records, model) == []
+
+    def test_broken_declaration_is_caught(self):
+        # hand-edit one kernel's declared byte count: the symbolic sets
+        # no longer reproduce the declaration
+        records, model = plan_stream(MODIFIED_BASELINE, WL2D, steps=1)
+        bad = list(records)
+        bad[0] = replace(bad[0], bytes_read=bad[0].bytes_read + 64)
+        findings = verify_static(bad, model)
+        assert findings and any("bytes" in f.check for f in findings)
+
+    def test_swapped_field_declaration_is_caught(self):
+        records, model = plan_stream(MODIFIED_BASELINE, WL2D, steps=1)
+        bad = swap_declaration(list(records), "C")
+        findings = verify_static(bad, model)
+        checks = {f.check for f in findings}
+        assert "undeclared-read" in checks or "undeclared-write" in checks
+
+    def test_unknown_kernel_reported_not_raised(self):
+        records, model = plan_stream(MODIFIED_BASELINE, WL2D, steps=1)
+        bad = [replace(records[0], name="XYZ")]
+        findings = verify_static(bad, model)
+        assert [f.check for f in findings] == ["unmodeled-kernel"]
+
+    @pytest.mark.parametrize("config", ALL, ids=lambda c: c.name)
+    def test_static_superset_of_dynamic_2d(self, config):
+        records, model = plan_stream(config, WL2D, steps=2)
+        executed, captured = captured_run(config, WL2D, steps=2)
+        assert records == executed
+        assert superset_findings(records, captured,
+                                 model.access_map(records)) == []
+
+    def test_static_superset_of_dynamic_3d(self):
+        records, model = plan_stream(FUSED_FULL, WL3D, steps=2)
+        _, captured = captured_run(FUSED_FULL, WL3D, steps=2)
+        assert superset_findings(records, captured,
+                                 model.access_map(records)) == []
+
+    def test_superset_violation_detected(self):
+        records, model = plan_stream(MODIFIED_BASELINE, WL2D, steps=1)
+        static_map = model.access_map(records)
+        # fabricate an observation outside every static interval
+        fake = StaticAccess(FieldRef("f", 0), READ, 10**6, 10**6 + 4, 32)
+        problems = superset_findings(records, {0: [fake]}, static_map)
+        assert len(problems) == 1 and "not covered" in problems[0]
+
+
+# ------------------------------------------------------------ legality proofs
+
+class TestFusionLegality:
+    @pytest.mark.parametrize("config", ALL, ids=lambda c: c.name)
+    def test_all_configs_legal_2d(self, config):
+        proof = prove_fusion_legality(config, WL2D, steps=2)
+        assert proof.legal, proof.counterexamples
+        if config.original_layout:
+            assert proof.verdict == "baseline"
+        else:
+            assert proof.verdict == "legal"
+            assert proof.pairs_checked > 0
+
+    def test_case_fusion_legal_3d(self):
+        proof = prove_fusion_legality(FUSED_FULL, WL3D, steps=2)
+        assert proof.verdict == "legal"
+        assert proof.pairs_checked > 0
+
+    @pytest.mark.parametrize("wl", (WL2D, WL3D), ids=("2d", "3d"))
+    def test_seeded_illegal_fusion_rejected(self, wl):
+        proof = seeded_illegal_proof(wl, steps=2)
+        assert proof.verdict == "illegal"
+        cex = proof.counterexamples[0]
+        # the counterexample names the conflicting access pair
+        assert cex.kernel_i.startswith("E") and cex.kernel_j.startswith("C")
+        assert cex.hazard == "raw"
+        assert cex.field.startswith("f@")
+        assert cex.interval_i[1] > cex.interval_i[0]
+
+    def test_tampered_stream_via_swap_declaration(self):
+        proof = prove_fusion_legality(
+            FUSE_SO, WL2D, steps=2,
+            tamper=lambda recs: swap_declaration(recs, "E"))
+        assert proof.verdict == "illegal"
+
+    def test_missing_primitive_is_structural_counterexample(self):
+        records, model = plan_stream(MODIFIED_BASELINE, WL2D, steps=1)
+        base_map = model.access_map(records)
+        _, _, cex = check_contraction(records, base_map, records[:-1],
+                                      model.decompose)
+        assert cex and cex[0].reason == "structure"
+        assert "no image" in cex[0].detail
+
+    def test_reordered_conflicting_pair_rejected(self):
+        records, model = plan_stream(MODIFIED_BASELINE, WL2D, steps=1)
+        base_map = model.access_map(records)
+        # swap the first C with the S of the same substep: C writes fstar
+        # that S reads, so the contraction must reject the reversal
+        idx_c = next(i for i, r in enumerate(records) if r.name == "C")
+        idx_s = next(i for i, r in enumerate(records)
+                     if r.name.startswith("S") and r.level == records[idx_c].level)
+        shuffled = list(records)
+        shuffled[idx_c], shuffled[idx_s] = shuffled[idx_s], shuffled[idx_c]
+        _, _, cex = check_contraction(records, base_map, shuffled,
+                                      model.decompose)
+        assert cex
+
+
+# -------------------------------------------------------------------- linting
+
+class TestLint:
+    @pytest.mark.parametrize("config", ALL, ids=lambda c: c.name)
+    def test_real_streams_have_no_lint_errors(self, config):
+        records, model = plan_stream(config, WL2D, steps=2)
+        assert lint_stream(records, model).errors == ()
+
+    def test_aa_double_buffer_opportunity_with_bytes_saved(self):
+        records, model = plan_stream(MODIFIED_BASELINE, WL2D, steps=2)
+        report = lint_stream(records, model)
+        aa = [f for f in report.opportunities if f.check == "aa-double-buffer"]
+        assert aa, "baseline must expose the AA-pattern rewrite"
+        assert all(f.bytes_saved > 0 and f.capacity_saved > 0 for f in aa)
+        assert all(f.time_saved_us > 0 for f in aa)
+
+    def test_case_drops_finest_fstar(self):
+        records, model = plan_stream(FUSED_FULL, WL2D, steps=2)
+        report = lint_stream(records, model)
+        drop = [f for f in report.opportunities
+                if f.check == "droppable-buffer"]
+        finest = len(model.engine.levels) - 1
+        assert any(f.field == f"fstar@{finest}" for f in drop)
+
+    def test_synthetic_dead_store_flagged(self):
+        records, model = plan_stream(MODIFIED_BASELINE, WL2D, steps=1)
+        # duplicate the first Collision: its fstar write is immediately
+        # overwritten by the copy with nothing reading in between
+        idx = next(i for i, r in enumerate(records) if r.name == "C")
+        bad = records[:idx + 1] + [records[idx]] + records[idx + 1:]
+        report = lint_stream(bad, model)
+        dead = [f for f in report.errors if f.check == "dead-store"]
+        assert dead and dead[0].index == idx
+        assert dead[0].bytes_saved > 0
+
+    def test_synthetic_redundant_load_flagged(self):
+        records, model = plan_stream(MODIFIED_BASELINE, WL2D, steps=1)
+        report = lint_stream(records, model)
+        red = [f for f in report.opportunities if f.check == "redundant-load"]
+        # consecutive substeps re-read f/fstar rows without intervening
+        # writes somewhere in any real stream
+        assert red
+        assert all(f.bytes_saved > 0 for f in red)
+
+    def test_injected_arena_violation_flagged(self):
+        records, model = plan_stream(MODIFIED_BASELINE, WL2D, steps=1)
+        lts = [BufferLifetime("x", 64, 0, 5, slab=0),
+               BufferLifetime("y", 64, 3, 8, slab=0)]
+        report = lint_stream(records, model, lifetimes=lts)
+        alias = [f for f in report.errors if f.check == "arena-alias"]
+        assert alias and "x" in alias[0].detail and "y" in alias[0].detail
+
+
+# ------------------------------------------------------------ arena lifetimes
+
+class TestArena:
+    def test_disjoint_lifetimes_share_a_slab(self):
+        lts = arena_assign([BufferLifetime("a", 100, 0, 3),
+                            BufferLifetime("b", 80, 5, 9)])
+        assert lts[0].slab == lts[1].slab
+        assert arena_check(lts) == []
+        assert arena_peak_bytes(lts) == 100
+
+    def test_overlapping_lifetimes_get_distinct_slabs(self):
+        lts = arena_assign([BufferLifetime("a", 100, 0, 6),
+                            BufferLifetime("b", 80, 5, 9)])
+        assert lts[0].slab != lts[1].slab
+        assert arena_peak_bytes(lts) == 180
+
+    def test_undersized_slab_not_reused(self):
+        # the freed slab is too small for the second buffer
+        lts = arena_assign([BufferLifetime("small", 10, 0, 1),
+                            BufferLifetime("big", 100, 3, 5)])
+        assert lts[0].slab != lts[1].slab
+
+    def test_arena_check_catches_bad_assignment(self):
+        bad = [BufferLifetime("a", 10, 0, 5, slab=0),
+               BufferLifetime("b", 10, 2, 7, slab=0)]
+        problems = arena_check(bad)
+        assert problems and "aliases" in problems[0]
+
+    def test_unassigned_lifetime_reported(self):
+        assert arena_check([BufferLifetime("a", 10, 0, 5)]) \
+            == ["buffer a has no slab assignment"]
+
+    def test_lifetimes_merge_fghost_into_fstar(self):
+        records, model = plan_stream(ORIGINAL_BASELINE, WL2D, steps=1)
+        flat = [(i, a) for i, accs in model.access_map(records).items()
+                for a in accs if a.field is not None and a.hi > a.lo]
+        names = {lt.name for lt in build_lifetimes(model, flat)}
+        assert not any(n.startswith("fghost") for n in names)
+
+
+# --------------------------------------------------------------- certificates
+
+class TestCertificates:
+    def _cert(self, config=MODIFIED_BASELINE, wl=WL2D, steps=1):
+        records, model = plan_stream(config, wl, steps=steps)
+        proof = prove_fusion_legality(config, wl, steps=steps)
+        lint = lint_stream(records, model)
+        cert = build_certificate(config.name, "wl", records, model, proof,
+                                 lint, steps)
+        return records, cert
+
+    def test_roundtrip_and_validate(self, tmp_path):
+        records, cert = self._cert()
+        path = write_certificate(cert, tmp_path / "certs" / "c.json")
+        loaded = load_certificate(path)
+        assert loaded == cert
+        assert validate_certificate(loaded, records) == []
+        assert loaded["version"] == CERTIFICATE_VERSION
+        assert loaded["legality"]["verdict"] == "legal"
+        assert len(loaded["kernels"]) == len(records)
+        assert all(k["accesses"] for k in loaded["kernels"])
+
+    def test_digest_binds_stream(self):
+        records, cert = self._cert()
+        tampered = list(records)
+        tampered[0] = replace(tampered[0], n_cells=tampered[0].n_cells + 1)
+        problems = validate_certificate(cert, tampered)
+        assert problems and "digest" in problems[0]
+        assert stream_digest(records) != stream_digest(tampered)
+
+    def test_unknown_version_rejected(self):
+        _, cert = self._cert()
+        cert = dict(cert, version=99)
+        problems = validate_certificate(cert)
+        assert problems == [f"unknown certificate version 99 "
+                            f"(expected {CERTIFICATE_VERSION})"]
+
+    def test_bad_wave_schedule_rejected(self):
+        records, cert = self._cert()
+        bad = dict(cert, wave_schedule=[[0]])
+        assert any("permutation" in p for p in validate_certificate(bad))
+        reversed_waves = [list(w) for w in reversed(cert["wave_schedule"])]
+        bad = dict(cert, wave_schedule=reversed_waves)
+        assert any("breaks" in p for p in validate_certificate(bad))
+
+    def test_illegal_verdict_needs_counterexample(self):
+        _, cert = self._cert()
+        bad = dict(cert, legality=dict(cert["legality"], verdict="illegal",
+                                       counterexamples=[]))
+        assert any("without a counterexample" in p
+                   for p in validate_certificate(bad))
+
+
+# ------------------------------------------------------------------- CLI gate
+
+class TestStaticCLI:
+    def test_static_check_clean_on_case(self, tmp_path):
+        rep = static_check(FUSED_FULL, "cavity2d-2lvl", steps=2,
+                           cert_dir=str(tmp_path))
+        assert not rep["stream_mismatch"]
+        assert rep["findings"] == [] and rep["superset"] == []
+        assert rep["verdict"] == "legal"
+        assert rep["lint_errors"] == []
+        assert rep["certificate_problems"] == []
+        assert rep["aa_bytes_saved"] > 0
+        assert load_certificate(rep["certificate"])["config"] == "ours-4f"
+
+    def test_cli_static_single_config(self, capsys):
+        from repro.analysis.cli import main
+        code = main(["--static", "--config", "baseline-4b",
+                     "--workload", "cavity2d-2lvl"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict=legal" in out
+        assert "seeded illegal fusion rejected" in out
