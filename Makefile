@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-threaded lint lint-strict analysis static-check threaded-check obs resilience-check check
+.PHONY: test test-threaded lint lint-strict analysis static-check threaded-check obs report bench-smoke bench-check resilience-check check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -54,10 +54,26 @@ obs:
 	$(PYTHON) -m repro.obs --workload cavity2d --config case --out obs-artifacts
 	$(PYTHON) -m repro.obs --workload cavity2d --config baseline --out obs-artifacts
 
+# Observatory run report: trace + metrics + roofline + lint + certificate
+# digest + event log for the Fig. 2 golden cavity, text/HTML/JSON.
+report:
+	$(PYTHON) -m repro.obs report --workload cavity2d --config case \
+		--out report-artifacts
+
+# Quick benchmark pass that appends to BENCH_HISTORY.jsonl: one small
+# measurement per direction-setting config (pytest-benchmark not needed).
+bench-smoke:
+	$(PYTHON) -m repro.bench.smoke --out $${BENCH_OUT_DIR:-.}
+
+# The regression gate over the appended trajectory.  Lenient by default:
+# warnings (< 5x) inform, hard regressions (>= 5x) fail the target.
+bench-check: bench-smoke
+	$(PYTHON) -m repro.bench.history --check
+
 # Fault matrix: inject NaN / kernel / OOM faults into every fusion
 # config, serial and threaded, and require bit-identical recovery plus
 # visible telemetry (retries_total, rollback events).  Exit status gates.
 resilience-check:
 	$(PYTHON) -m repro.resilience --out resilience-artifacts
 
-check: lint test test-threaded threaded-check static-check resilience-check
+check: lint test test-threaded threaded-check static-check resilience-check report bench-check

@@ -36,7 +36,8 @@ from ..neon.runtime import FieldRef, KernelRecord
 from .capture import ATOMIC, META, READ, WRITE
 from .static import AccessModel, StaticAccess
 
-__all__ = ["LintFinding", "LintReport", "lint_stream", "build_lifetimes"]
+__all__ = ["LintFinding", "LintReport", "lint_stream", "build_lifetimes",
+           "stream_lifetimes"]
 
 
 @dataclass(frozen=True)
@@ -264,6 +265,18 @@ def build_lifetimes(model: AccessModel,
                            first=lo, last=hi)
             for ref, (lo, hi) in sorted(spans.items(),
                                         key=lambda kv: str(kv[0]))]
+
+
+def stream_lifetimes(records: Sequence[KernelRecord],
+                     model: AccessModel) -> list[BufferLifetime]:
+    """Buffer live ranges of a stream, straight from a record list.
+
+    Convenience over :func:`build_lifetimes` for callers outside the
+    lint pass (the metrics registry publishes the packed arena's peak
+    occupancy per step): derives the symbolic access map and flattens it
+    the same way :func:`lint_stream` does.
+    """
+    return build_lifetimes(model, _flat(model.access_map(records)))
 
 
 def lint_stream(records: Sequence[KernelRecord], model: AccessModel,

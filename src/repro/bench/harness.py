@@ -40,6 +40,9 @@ class Measurement:
     #: :func:`repro.obs.metrics.run_metrics`); what the benchmarks
     #: serialize into their ``BENCH_*.json`` artifacts.
     metrics: dict = field(default_factory=dict)
+    #: Buffer-arena peak occupancy over one step's stream, from the
+    #: ``gpu/memory.py`` lifetime model (0 when the trace is empty).
+    arena_peak_bytes: int = 0
 
     @property
     def kernels_per_step(self) -> float:
@@ -62,6 +65,7 @@ class Measurement:
             "kernels_per_step": self.kernels_per_step,
             "bytes_per_step": self.bytes_per_step,
             "atomic_bytes": sum(r.atomic_bytes for r in self.trace),
+            "arena_peak_bytes": self.arena_peak_bytes,
             "metrics": self.metrics,
         }
 
@@ -97,6 +101,8 @@ def measure(workload: Workload, config: FusionConfig, steps: int = 5,
     registry = run_metrics(sim)
     registry.gauge("sim_mlups", "cost-model MLUPS on the target device").set(
         predicted_mlups(active, n, cost))
+    arena_peak = int(registry["arena_peak_bytes"].value) \
+        if "arena_peak_bytes" in registry else 0
     return Measurement(
         workload=workload.name, config=config.name, steps=n,
         active_per_level=active,
@@ -104,7 +110,8 @@ def measure(workload: Workload, config: FusionConfig, steps: int = 5,
         wall_mlups=mlups(active, n, sim.elapsed),
         trace=records, cost=cost,
         sim_mlups=predicted_mlups(active, n, cost),
-        metrics=registry.as_dict())
+        metrics=registry.as_dict(),
+        arena_peak_bytes=arena_peak)
 
 
 def compare_serial_threaded(workload: Workload, config: FusionConfig,

@@ -1,0 +1,69 @@
+"""``python -m repro.bench.smoke`` — the quick benchmark pass CI tracks.
+
+One small lid-cavity measurement per direction-setting fusion config
+(the original baseline, the modified baseline and the full fusion),
+written as ``BENCH_smoke.json`` and — through the shared writer —
+appended to ``BENCH_HISTORY.jsonl``.  The point is not absolute speed
+(the functional NumPy host is slow); it is a *stable series*: the same
+tiny workload measured the same way every PR, so the regression gate
+(:mod:`repro.bench.history`) has a trajectory to judge.
+
+Runs in seconds and needs nothing beyond the package itself, which is
+what ``make bench-check`` and the ``perf-observatory`` CI job want.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+__all__ = ["SMOKE_CONFIGS", "run_smoke", "main"]
+
+#: Config names measured by the smoke pass — the endpoints of Fig. 9's
+#: ablation (both baselines and the full fusion), enough to catch a
+#: regression in either the unfused or the fused code path.
+SMOKE_CONFIGS = ("baseline-4a", "baseline-4b", "ours-4f")
+
+
+def run_smoke(steps: int = 3, warmup: int = 1) -> dict:
+    """Measure the smoke workload under every smoke config."""
+    from ..core.fusion import get_config
+    from .harness import measure
+    from .workloads import lid_cavity
+
+    wl = lid_cavity(base=(16, 16), num_levels=2, lattice="D2Q9")
+    payload: dict = {"workload": wl.name, "steps": steps,
+                     "measurements": {}}
+    for name in SMOKE_CONFIGS:
+        m = measure(wl, get_config(name), steps=steps, warmup=warmup)
+        payload["measurements"][name] = m.summary()
+    return payload
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    from ..obs.metrics import write_bench_json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.smoke",
+        description="Quick benchmark pass: one small cavity measurement "
+                    "per direction-setting fusion config; appends to "
+                    "BENCH_HISTORY.jsonl for the regression gate.")
+    parser.add_argument("--steps", type=int, default=3,
+                        help="coarse steps per measurement (default 3)")
+    parser.add_argument("--out", default=None,
+                        help="output directory (default: $BENCH_OUT_DIR "
+                             "or the repo root)")
+    args = parser.parse_args(argv)
+
+    payload = run_smoke(steps=args.steps)
+    path = write_bench_json("smoke", payload, args.out)
+    for name, s in payload["measurements"].items():
+        print(f"  {name:<14} wall {s['wall_seconds']:.3f}s  "
+              f"{s['kernels_per_step']:.0f} kernels/step  "
+              f"arena peak {s['arena_peak_bytes']} B")
+    print(f"  wrote {path} (+ BENCH_HISTORY.jsonl line)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m
+    raise SystemExit(main())

@@ -13,6 +13,15 @@ and the health watchdog armed, then emits
 The emitted trace is validated structurally before the process exits
 (exactly one complete slice per kernel record, parseable JSON); exit
 status is non-zero on validation failure or a detected divergence.
+
+``python -m repro.obs report`` is the observatory entry point: the same
+telemetry session rendered as one terminal/HTML run report — trace
+summary, metrics, roofline accounting (achieved bandwidth + drift),
+lint opportunities, the step-plan certificate digest and a unified
+JSON-lines event log (see :mod:`repro.obs.report`).  ``report --drift``
+additionally sweeps all 7 fusion configs (2D and 3D) through the
+roofline join and reports families whose predicted-vs-observed skew is
+out of line.
 """
 
 from __future__ import annotations
@@ -31,7 +40,8 @@ from .spans import SpanRecorder
 from .trace import chrome_trace, validate_trace
 from .watchdog import HealthWatchdog, SimulationDiverged
 
-__all__ = ["main", "run_workload", "OBS_WORKLOADS", "CONFIG_ALIASES"]
+__all__ = ["main", "report_main", "run_workload", "OBS_WORKLOADS",
+           "CONFIG_ALIASES"]
 
 #: Named workloads small enough for functional telemetry runs.
 #: ``cavity2d`` is the Fig. 2 golden setup: a 3-level 24x24 cavity whose
@@ -54,18 +64,18 @@ def _resolve_config(name: str):
     return get_config(CONFIG_ALIASES.get(name, name))
 
 
-def run_workload(workload: str, config_name: str, *, steps: int = 3,
-                 device_name: str = "A100-40GB",
-                 watchdog_every: int = 1) -> dict:
-    """Run one telemetry session; return trace/metrics/report dicts.
+def _telemetry_session(workload: str, config_name: str, *, steps: int = 3,
+                       watchdog_every: int = 1) -> dict:
+    """Run one instrumented session and return the live objects.
 
-    Raises :class:`~repro.obs.watchdog.SimulationDiverged` if the run
-    leaves its numerical envelope.
+    Shared by the trace-export path (:func:`run_workload`) and the
+    observatory report path (:func:`report_main`): builds the workload,
+    installs the span tracer, arms the watchdog, runs, and publishes the
+    standard metrics.  Divergence is caught and reported in ``status``.
     """
     from ..bench.workloads import lid_cavity
 
     cfg = _resolve_config(config_name)
-    device = get_device(device_name)
     wl = lid_cavity(**OBS_WORKLOADS[workload])
     sim = Simulation.from_config(wl.spec, wl.sim_config(fusion=cfg))
     recorder = sim.enable_tracing()
@@ -84,8 +94,22 @@ def run_workload(workload: str, config_name: str, *, steps: int = 3,
         status = {"status": "diverged", "payload": exc.payload}
 
     run_metrics(sim, registry, recorder=recorder)
-    kbc = wl.collision.lower() == "kbc"
-    trace = chrome_trace(recorder, device=device, kbc=kbc)
+    return {"sim": sim, "recorder": recorder, "registry": registry,
+            "watchdog": watchdog, "status": status, "workload": wl,
+            "config": cfg, "kbc": wl.collision.lower() == "kbc"}
+
+
+def run_workload(workload: str, config_name: str, *, steps: int = 3,
+                 device_name: str = "A100-40GB",
+                 watchdog_every: int = 1) -> dict:
+    """Run one telemetry session; return trace/metrics/report dicts."""
+    device = get_device(device_name)
+    ses = _telemetry_session(workload, config_name, steps=steps,
+                             watchdog_every=watchdog_every)
+    sim, recorder, registry = ses["sim"], ses["recorder"], ses["registry"]
+    watchdog, status, wl, cfg = (ses["watchdog"], ses["status"],
+                                 ses["workload"], ses["config"])
+    trace = chrome_trace(recorder, device=device, kbc=ses["kbc"])
     per_step = [m - (sim.runtime.markers[i - 1] if i else 0)
                 for i, m in enumerate(sim.runtime.markers)]
     return {
@@ -129,11 +153,103 @@ def _print_report(res: dict, out) -> None:
               f"{p['step']}, cells {p['cells']}", file=out)
 
 
+def report_main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.obs report`` — the observatory run report."""
+    from .log import EventLog
+    from .report import collect_report, render_text, write_report
+    from .roofline import drift_report
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs report",
+        description="Render one telemetry session as a terminal/HTML run "
+                    "report: trace + metrics + roofline + lint "
+                    "opportunities + certificate digest + event log.")
+    parser.add_argument("--workload", default="cavity2d",
+                        choices=sorted(OBS_WORKLOADS))
+    parser.add_argument("--config", default="case",
+                        help="fusion config name or alias")
+    parser.add_argument("--steps", type=int, default=3)
+    parser.add_argument("--device", default="A100-40GB")
+    parser.add_argument("--watchdog-every", type=int, default=1)
+    parser.add_argument("--out", default=".",
+                        help="output directory for report + event log")
+    parser.add_argument("--drift", action="store_true",
+                        help="also sweep all 7 fusion configs (2D+3D) "
+                             "through the roofline join and report drift")
+    parser.add_argument("--drift-factor", type=float, default=3.0,
+                        help="normalized-skew factor that flags a family")
+    parser.add_argument("--run-id", default=None,
+                        help="run identity stamped on every event-log line")
+    parser.add_argument("--label", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="extra event-log label (repeatable) — the "
+                             "per-tenant seam")
+    args = parser.parse_args(argv)
+
+    try:
+        cfg = _resolve_config(args.config)
+        device = get_device(args.device)
+    except KeyError as exc:
+        parser.error(str(exc.args[0]))
+    labels = {}
+    for item in args.label:
+        if "=" not in item:
+            parser.error(f"--label wants KEY=VALUE, got {item!r}")
+        k, _, v = item.partition("=")
+        labels[k] = v
+
+    ses = _telemetry_session(args.workload, args.config, steps=args.steps,
+                             watchdog_every=args.watchdog_every)
+    log = EventLog(run_id=args.run_id, workload=args.workload,
+                   config=cfg.name, **labels)
+    log.emit("meta", workload=args.workload, config=cfg.name,
+             steps=args.steps, device=device.name)
+    rep = collect_report(ses["sim"], ses["recorder"], ses["registry"],
+                         workload=args.workload, status=ses["status"],
+                         device=device, kbc=ses["kbc"],
+                         drift_factor=args.drift_factor, event_log=log)
+    rep.log_lines = len(log)
+
+    os.makedirs(args.out, exist_ok=True)
+    stem = f"{args.workload}_{cfg.name}"
+    paths = write_report(rep, stem, args.out)
+    log_path = os.path.join(args.out, f"events_{stem}.jsonl")
+    log.write(log_path, append=False)
+
+    sys.stdout.write(render_text(rep))
+    print(f"report json   : {paths['json']}")
+    print(f"report html   : {paths['html']}")
+    print(f"event log     : {log_path}")
+
+    if args.drift:
+        dr = drift_report(steps=max(args.steps, 2), device=device,
+                          factor=args.drift_factor)
+        drift_path = os.path.join(args.out, "drift_report.json")
+        with open(drift_path, "w") as fh:
+            json.dump(dr.as_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"drift sweep   : {len(dr.entries)} (workload, config) "
+              f"entries, {len(dr.findings)} flagged -> {drift_path}")
+        for f in dr.findings:
+            print(f"  {f}")
+
+    return 1 if rep.status.get("status") != "ok" else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    args_in = list(sys.argv[1:] if argv is None else argv)
+    if args_in and args_in[0] == "report":
+        return report_main(args_in[1:])
+    return _run_main(args_in)
+
+
+def _run_main(argv: Sequence[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
         description="Telemetry runner: span tracer + Perfetto timeline "
-                    "export + metrics report + health watchdog.")
+                    "export + metrics report + health watchdog.  "
+                    "Subcommand 'report' renders the observatory run "
+                    "report instead (see python -m repro.obs report -h).")
     parser.add_argument("--workload", default="cavity2d",
                         choices=sorted(OBS_WORKLOADS),
                         help="workload to run (default cavity2d, the "

@@ -1,0 +1,242 @@
+"""Unified structured event log: one JSON-lines schema for everything.
+
+The observability layer grew four disjoint record streams — kernel/step
+spans (:mod:`repro.obs.spans`), metric snapshots
+(:mod:`repro.obs.metrics`), watchdog findings
+(:mod:`repro.obs.watchdog`) and resilience events
+(retry/rollback/degrade from :mod:`repro.resilience.runner`).  This
+module folds them into **one** append-friendly JSON-lines schema so a
+single file narrates a whole run, and so several concurrent runs can
+share one sink and still be teased apart: every line carries the run's
+identity and labels (the per-tenant seam the future ``repro.serve``
+layer multiplexes on).
+
+Line schema (``v`` = :data:`LOG_VERSION`)::
+
+    {"v": 1, "run": {"id": "...", <labels>}, "kind": "<kind>",
+     "seq": <int>, "ts_us": <float|null>, "data": {...}}
+
+``kind`` is one of :data:`LOG_KINDS`:
+
+* ``meta``      — one opening line per run: workload, config, host;
+* ``kernel``    — one kernel span (index, name, level, bytes, timing);
+* ``step``      — one coarse-step span (record range, timing);
+* ``metric``    — one metrics-registry snapshot (labels + values);
+* ``watchdog``  — a health check outcome (ok stats or divergence payload);
+* ``resilience``— a recovery event (retry / rollback / degrade / fault);
+* ``note``      — free-form annotations (regrids, phase markers, ...).
+
+``seq`` is a per-run monotone sequence number — the total order of the
+log even where timestamps tie or are absent.  ``ts_us`` is microseconds
+relative to the run's span origin when the source stream has one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable, Sequence
+from uuid import uuid4
+
+__all__ = ["LOG_VERSION", "LOG_KINDS", "EventLog", "read_log",
+           "validate_log", "split_runs"]
+
+LOG_VERSION = 1
+LOG_KINDS = ("meta", "kernel", "step", "metric", "watchdog",
+             "resilience", "note")
+
+
+class EventLog:
+    """Accumulates one run's events; serializes to JSON lines.
+
+    Parameters
+    ----------
+    run_id:
+        Stable identity of the run; auto-generated when omitted.
+    labels:
+        Arbitrary key/value labels stamped on **every** line (tenant,
+        workload, config, job id, ...).
+    """
+
+    def __init__(self, run_id: str | None = None, **labels: Any) -> None:
+        self.run_id = run_id if run_id is not None else uuid4().hex[:12]
+        self.labels = {str(k): v for k, v in labels.items()}
+        self.lines: list[dict] = []
+        self._seq = 0
+
+    # -- emission ------------------------------------------------------------
+    def emit(self, kind: str, ts_us: float | None = None,
+             **data: Any) -> dict:
+        """Append one event line and return it."""
+        if kind not in LOG_KINDS:
+            raise ValueError(f"unknown log kind {kind!r}; one of {LOG_KINDS}")
+        line = {
+            "v": LOG_VERSION,
+            "run": {"id": self.run_id, **self.labels},
+            "kind": kind,
+            "seq": self._seq,
+            "ts_us": round(ts_us, 3) if ts_us is not None else None,
+            "data": data,
+        }
+        self._seq += 1
+        self.lines.append(line)
+        return line
+
+    def note(self, message: str, **data: Any) -> dict:
+        return self.emit("note", message=message, **data)
+
+    # -- ingestion from the existing telemetry sources -----------------------
+    def ingest_spans(self, recorder) -> int:
+        """Fold a :class:`~repro.obs.spans.SpanRecorder` into the log.
+
+        Emits one ``kernel`` line per kernel span, one ``step`` line per
+        step span and one ``resilience`` line per surviving event span
+        (the recorder's events are exactly the recovery narration).
+        Returns the number of lines emitted.
+        """
+        n = 0
+        for s in recorder.kernel_spans:
+            self.emit("kernel", ts_us=s.start_us, index=s.index,
+                      name=s.record.name, level=s.record.level,
+                      n_cells=s.record.n_cells, bytes=s.record.bytes_total,
+                      atomic_bytes=s.record.atomic_bytes,
+                      dur_us=round(s.dur_us, 3))
+            n += 1
+        for ss in recorder.step_spans:
+            self.emit("step", ts_us=ss.start_us, step=ss.step,
+                      start_record=ss.start_record, end_record=ss.end_record,
+                      dur_us=round(ss.dur_us, 3))
+            n += 1
+        n += self.ingest_events(e.as_dict() for e in recorder.events)
+        return n
+
+    def ingest_events(self, events: Iterable[dict]) -> int:
+        """Fold resilience events (``EventSpan.as_dict()`` shape) in."""
+        n = 0
+        for ev in events:
+            ev = dict(ev)
+            ts = ev.pop("ts_us", None)
+            name = ev.pop("name", "event")
+            self.emit("resilience", ts_us=ts, event=name, **ev)
+            n += 1
+        return n
+
+    def ingest_metrics(self, registry, *, final: bool = True) -> int:
+        """Fold a :class:`~repro.obs.metrics.MetricsRegistry` in.
+
+        Each recorded snapshot becomes one ``metric`` line (value-only
+        view — help strings stay in the registry dump); with ``final``
+        the registry's closing state is appended as a last snapshot
+        labelled ``{"final": True}``.
+        """
+        n = 0
+        for snap in registry.snapshots:
+            self.emit("metric", labels=snap.get("labels", {}),
+                      values={k: m.get("value", m.get("mean"))
+                              for k, m in snap.get("metrics", {}).items()})
+            n += 1
+        if final:
+            self.emit("metric", labels={"final": True},
+                      values={name: registry[name].as_dict().get(
+                          "value", registry[name].as_dict().get("mean"))
+                          for name in registry.names()})
+            n += 1
+        return n
+
+    def ingest_watchdog(self, report: dict | None = None,
+                        diverged: dict | None = None) -> int:
+        """Fold a watchdog outcome in: an ok report or a divergence.
+
+        ``report`` is :attr:`HealthWatchdog.last_report`; ``diverged`` is
+        a :class:`~repro.obs.watchdog.SimulationDiverged` payload (its
+        span dump is dropped — the spans are already ``kernel`` lines).
+        """
+        n = 0
+        if report is not None:
+            self.emit("watchdog", status="ok", step=report.get("step"),
+                      checks_run=report.get("checks_run"),
+                      levels=report.get("levels"))
+            n += 1
+        if diverged is not None:
+            payload = {k: v for k, v in diverged.items() if k != "spans"}
+            self.emit("watchdog", status="diverged", **payload)
+            n += 1
+        return n
+
+    # -- serialization -------------------------------------------------------
+    def dump(self) -> str:
+        return "".join(json.dumps(line, sort_keys=True, default=str) + "\n"
+                       for line in self.lines)
+
+    def write(self, path: str, append: bool = True) -> str:
+        """Serialize to ``path`` (append by default: logs are shared sinks)."""
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "a" if append else "w") as fh:
+            fh.write(self.dump())
+        return path
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+
+def read_log(path: str) -> list[dict]:
+    """Parse a JSON-lines event log; blank/torn lines are skipped."""
+    out: list[dict] = []
+    with open(path) as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                line = json.loads(raw)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(line, dict):
+                out.append(line)
+    return out
+
+
+def validate_log(lines: Sequence[dict]) -> list[str]:
+    """Schema lint of event-log lines; returns found problems.
+
+    Checks the invariants consumers key on: version, a known ``kind``, a
+    run identity on every line, numeric-or-null ``ts_us``, and strictly
+    increasing ``seq`` within each run.
+    """
+    problems: list[str] = []
+    last_seq: dict[str, int] = {}
+    for i, line in enumerate(lines):
+        if line.get("v") != LOG_VERSION:
+            problems.append(f"line {i}: unsupported version {line.get('v')!r}")
+            continue
+        kind = line.get("kind")
+        if kind not in LOG_KINDS:
+            problems.append(f"line {i}: unknown kind {kind!r}")
+        run = line.get("run")
+        if not isinstance(run, dict) or not run.get("id"):
+            problems.append(f"line {i}: missing run identity")
+            continue
+        ts = line.get("ts_us")
+        if ts is not None and not isinstance(ts, (int, float)):
+            problems.append(f"line {i}: non-numeric ts_us {ts!r}")
+        seq = line.get("seq")
+        rid = str(run["id"])
+        if not isinstance(seq, int):
+            problems.append(f"line {i}: missing seq")
+        else:
+            if rid in last_seq and seq <= last_seq[rid]:
+                problems.append(f"line {i}: seq {seq} not increasing for "
+                                f"run {rid}")
+            last_seq[rid] = seq
+        if not isinstance(line.get("data"), dict):
+            problems.append(f"line {i}: data is not an object")
+    return problems
+
+
+def split_runs(lines: Sequence[dict]) -> dict[str, list[dict]]:
+    """Group a shared sink's lines by run id (the multi-tenant read path)."""
+    out: dict[str, list[dict]] = {}
+    for line in lines:
+        rid = str(line.get("run", {}).get("id", "?"))
+        out.setdefault(rid, []).append(line)
+    return out
