@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-threaded lint lint-strict analysis static-check threaded-check obs report bench-smoke bench-check resilience-check check
+.PHONY: test test-threaded test-compiled lint lint-strict docs-check analysis static-check threaded-check obs report bench-smoke bench-check resilience-check check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -10,6 +10,11 @@ test:
 # threaded wave executor (bit-identical by contract).
 test-threaded:
 	REPRO_THREADED=1 $(PYTHON) -m pytest -x -q
+
+# Same tier-1 suite under the compiled step-plan backend (bit-identical
+# by contract; hooks that need per-launch dispatch fall back visibly).
+test-compiled:
+	REPRO_BACKEND=compiled $(PYTHON) -m pytest -x -q
 
 # ruff and mypy are optional dev tools (pip install -e ".[lint]").
 # Skipping when absent is deliberate: the guard only bypasses the tool
@@ -34,6 +39,18 @@ lint-strict:
 	@command -v mypy >/dev/null 2>&1 || { echo "lint-strict: mypy not installed"; exit 1; }
 	ruff check src tests benchmarks examples
 	mypy
+
+# Documentation gate: pydocstyle D rules on the public API surface of
+# repro.backend / repro.neon (scoped in pyproject.toml) plus the
+# internal markdown link/anchor checker.  Like `lint`, a missing ruff
+# is skipped locally; CI installs it and so enforces both halves.
+docs-check:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/repro/backend src/repro/neon; \
+	else \
+		echo "ruff not installed -- skipping docstring lint (pip install -e '.[lint]')"; \
+	fi
+	$(PYTHON) tools/check_links.py
 
 analysis:
 	$(PYTHON) -m repro.analysis --all-configs
@@ -76,4 +93,4 @@ bench-check: bench-smoke
 resilience-check:
 	$(PYTHON) -m repro.resilience --out resilience-artifacts
 
-check: lint test test-threaded threaded-check static-check resilience-check report bench-check
+check: lint docs-check test test-threaded test-compiled threaded-check static-check resilience-check report bench-check

@@ -1,0 +1,38 @@
+"""Pluggable compute backends: how one coarse step actually executes.
+
+The Algorithm-1 stepper (:mod:`repro.core.stepper`) describes *what* a
+coarse step does; a backend decides *how* it runs:
+
+* :class:`~repro.backend.interpreted.InterpretedBackend` — the reference
+  path: every ``op_*`` re-dispatches through :meth:`Runtime.launch
+  <repro.neon.runtime.Runtime.launch>` each step (immediate NumPy
+  execution, full tracing, all runtime hooks).
+* :class:`~repro.backend.compiled.CompiledBackend` — compile-once step
+  plans: the first execution of each unique step shape captures the
+  kernel stream in plan-only mode, pre-resolves every field view and
+  index map, pre-allocates scratch from the buffer arena and replays
+  the plan on later steps with zero Python re-dispatch of the launch
+  path.  Bit-identical to the interpreted path by contract.
+* :class:`~repro.backend.compiled.CompiledAABackend` — the compiled
+  plan plus AA-pattern in-place streaming: population double buffers
+  the static linter proves droppable are physically replaced by arena
+  scratch (paper §VI-B's memory win).
+
+Select a backend with ``SimConfig(backend="compiled")`` or the
+``$REPRO_BACKEND`` environment variable; the default is interpreted.
+The seam is duck-typed (``step(stepper)`` + a ``name``), sized so a
+torch or genuinely device-compiled backend can slot in later without
+touching the stepper.
+"""
+
+from .base import (Backend, PlanAdmissionError, available_backends,
+                   make_backend, resolve_backend)
+from .compiled import CompiledAABackend, CompiledBackend
+from .interpreted import InterpretedBackend
+from .plan import StepPlan
+
+__all__ = [
+    "Backend", "PlanAdmissionError", "available_backends", "make_backend",
+    "resolve_backend", "InterpretedBackend", "CompiledBackend",
+    "CompiledAABackend", "StepPlan",
+]

@@ -36,6 +36,9 @@ class Measurement:
     trace: list[KernelRecord]
     cost: TraceCost
     sim_mlups: float
+    #: Execution backend that produced the wall-clock numbers
+    #: (``"interpreted"``, ``"compiled"``, ``"compiled-aa"``).
+    backend: str = "interpreted"
     #: Metrics-registry snapshot of the measured run (see
     #: :func:`repro.obs.metrics.run_metrics`); what the benchmarks
     #: serialize into their ``BENCH_*.json`` artifacts.
@@ -57,6 +60,7 @@ class Measurement:
         return {
             "workload": self.workload,
             "config": self.config,
+            "backend": self.backend,
             "steps": self.steps,
             "active_per_level": list(self.active_per_level),
             "wall_seconds": self.wall_seconds,
@@ -80,12 +84,20 @@ def default_concurrency(config: FusionConfig) -> bool:
 
 def measure(workload: Workload, config: FusionConfig, steps: int = 5,
             warmup: int = 1, device: DeviceSpec = A100_40GB,
-            concurrent: bool | None = None) -> Measurement:
-    """Run ``steps`` coarse steps and cost the recorded trace on ``device``."""
+            concurrent: bool | None = None,
+            backend: str | None = None) -> Measurement:
+    """Run ``steps`` coarse steps and cost the recorded trace on ``device``.
+
+    ``backend`` selects the execution backend (``None`` defers to
+    ``$REPRO_BACKEND``, like direct construction does); with a compiled
+    backend the ``warmup`` steps absorb plan compilation, so the timed
+    window measures pure replay.
+    """
     if concurrent is None:
         concurrent = default_concurrency(config)
     sim = Simulation.from_config(workload.spec,
-                                 workload.sim_config(fusion=config))
+                                 workload.sim_config(fusion=config),
+                                 backend=backend)
     if warmup:
         sim.run(warmup)
     sim.runtime.reset(steps_base=sim.steps_done)
@@ -105,6 +117,7 @@ def measure(workload: Workload, config: FusionConfig, steps: int = 5,
         if "arena_peak_bytes" in registry else 0
     return Measurement(
         workload=workload.name, config=config.name, steps=n,
+        backend=sim.backend.name,
         active_per_level=active,
         wall_seconds=sim.elapsed,
         wall_mlups=mlups(active, n, sim.elapsed),

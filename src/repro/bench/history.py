@@ -130,14 +130,21 @@ def host_fingerprint() -> dict:
     return {"id": digest, **info}
 
 
-def config_digest(metrics: dict[str, float]) -> str:
+def config_digest(metrics: dict[str, float],
+                  backend: str | None = None) -> str:
     """Hash of the watched-metric *key set* — the series identity.
 
     Two runs are comparable when they measured the same quantities; a
     benchmark that adds or drops a config/workload changes its key set
-    and therefore starts a fresh baseline.
+    and therefore starts a fresh baseline.  ``backend`` salts the digest
+    so compiled-backend runs start their own baseline instead of
+    "improving" against interpreted history (and interpreted runs never
+    regress against compiled ones); ``None`` leaves digests of
+    backend-agnostic benchmarks unchanged.
     """
     keys = sorted(metrics)
+    if backend:
+        keys.append(f"backend={backend}")
     return hashlib.sha256("\n".join(keys).encode()).hexdigest()[:12]
 
 
@@ -162,19 +169,28 @@ def _numeric_leaves(payload: Any, prefix: str = "",
 def build_record(bench: str, metrics: dict[str, float], *,
                  bandwidth: dict | None = None,
                  labels: dict | None = None,
-                 sha: str | None = None) -> dict:
-    """Assemble one history line (see the module docstring for fields)."""
-    return {
+                 sha: str | None = None,
+                 backend: str | None = None) -> dict:
+    """Assemble one history line (see the module docstring for fields).
+
+    ``backend`` records which execution backend produced the numbers and
+    salts the :func:`config_digest`, so per-backend series never share a
+    regression baseline.
+    """
+    rec = {
         "v": HISTORY_VERSION,
         "bench": bench,
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "git_sha": sha if sha is not None else git_sha(),
         "host": host_fingerprint(),
-        "config_digest": config_digest(metrics),
+        "config_digest": config_digest(metrics, backend=backend),
         "metrics": dict(sorted(metrics.items())),
         "bandwidth": bandwidth or {},
         "labels": labels or {},
     }
+    if backend is not None:
+        rec["backend"] = backend
+    return rec
 
 
 def record_from_bench(name: str, payload: dict) -> dict:
@@ -182,12 +198,15 @@ def record_from_bench(name: str, payload: dict) -> dict:
 
     Scans the (possibly nested) payload for watched numeric leaves; the
     dotted path disambiguates per-config entries
-    (``measurements.ours-4f.wall_mlups``).
+    (``measurements.ours-4f.wall_mlups``).  A ``backend`` key in the
+    payload is carried into the record and its digest.
     """
     metrics = dict(_numeric_leaves(payload))
     bandwidth = payload.get("bandwidth") if isinstance(
         payload.get("bandwidth"), dict) else None
-    return build_record(name, metrics, bandwidth=bandwidth)
+    backend = payload.get("backend") if isinstance(
+        payload.get("backend"), str) else None
+    return build_record(name, metrics, bandwidth=bandwidth, backend=backend)
 
 
 def append_record(record: dict, path: str | None = None) -> str:

@@ -2,11 +2,22 @@
 
 One small lid-cavity measurement per direction-setting fusion config
 (the original baseline, the modified baseline and the full fusion),
-written as ``BENCH_smoke.json`` and — through the shared writer —
-appended to ``BENCH_HISTORY.jsonl``.  The point is not absolute speed
-(the functional NumPy host is slow); it is a *stable series*: the same
-tiny workload measured the same way every PR, so the regression gate
+under **both** execution backends: the interpreted reference and the
+compiled step-plan replay (:mod:`repro.backend`).  The payload carries
+both series plus the per-config speedup, is written as
+``BENCH_smoke.json`` and — through the shared writer — appended to
+``BENCH_HISTORY.jsonl``.  The point is not absolute speed (the
+functional NumPy host is slow); it is a *stable series*: the same tiny
+workload measured the same way every PR, so the regression gate
 (:mod:`repro.bench.history`) has a trajectory to judge.
+
+The smoke pass also *asserts* the compiled backend's raison d'être: the
+geometric-mean speedup over the interpreted path must reach
+``$REPRO_SMOKE_MIN_SPEEDUP`` (default 1.3×) or the process exits
+non-zero — a compiled backend that stops paying for itself fails CI the
+same way a broken test would.  The history line is written *before* the
+gate is judged, so a failing run still leaves its evidence in the
+trajectory.
 
 Runs in seconds and needs nothing beyond the package itself, which is
 what ``make bench-check`` and the ``perf-observatory`` CI job want.
@@ -15,28 +26,60 @@ what ``make bench-check`` and the ``perf-observatory`` CI job want.
 from __future__ import annotations
 
 import argparse
+import os
 from typing import Sequence
 
-__all__ = ["SMOKE_CONFIGS", "run_smoke", "main"]
+__all__ = ["SMOKE_CONFIGS", "DEFAULT_MIN_SPEEDUP", "run_smoke", "main"]
 
 #: Config names measured by the smoke pass — the endpoints of Fig. 9's
 #: ablation (both baselines and the full fusion), enough to catch a
 #: regression in either the unfused or the fused code path.
 SMOKE_CONFIGS = ("baseline-4a", "baseline-4b", "ours-4f")
 
+#: Compiled-over-interpreted geometric-mean speedup the smoke pass
+#: requires (override with ``$REPRO_SMOKE_MIN_SPEEDUP``).
+DEFAULT_MIN_SPEEDUP = 1.3
+
+
+def _geomean(values: Sequence[float]) -> float:
+    prod = 1.0
+    for v in values:
+        prod *= v
+    return prod ** (1.0 / len(values)) if values else 0.0
+
 
 def run_smoke(steps: int = 3, warmup: int = 1) -> dict:
-    """Measure the smoke workload under every smoke config."""
+    """Measure the smoke workload under every smoke config and backend.
+
+    Returns the full payload: ``measurements`` (interpreted series, the
+    historical key so old trajectory series continue), ``compiled``
+    (compiled series) and ``speedup`` (per-config wall-clock ratios plus
+    their geometric mean).  The compiled measurements absorb plan
+    compilation in the warmup, so the ratio compares steady-state replay
+    against steady-state interpretation.
+    """
     from ..core.fusion import get_config
     from .harness import measure
     from .workloads import lid_cavity
 
     wl = lid_cavity(base=(16, 16), num_levels=2, lattice="D2Q9")
     payload: dict = {"workload": wl.name, "steps": steps,
-                     "measurements": {}}
+                     "backend": "compiled",
+                     "measurements": {}, "compiled": {}, "speedup": {}}
+    ratios: list[float] = []
     for name in SMOKE_CONFIGS:
-        m = measure(wl, get_config(name), steps=steps, warmup=warmup)
-        payload["measurements"][name] = m.summary()
+        cfg = get_config(name)
+        mi = measure(wl, cfg, steps=steps, warmup=warmup,
+                     backend="interpreted")
+        mc = measure(wl, cfg, steps=steps, warmup=warmup,
+                     backend="compiled")
+        payload["measurements"][name] = mi.summary()
+        payload["compiled"][name] = mc.summary()
+        ratio = (mi.wall_seconds / mc.wall_seconds
+                 if mc.wall_seconds > 0 else float("inf"))
+        ratios.append(ratio)
+        payload["speedup"][name] = {"speedup": ratio}
+    payload["speedup"]["mean"] = {"speedup": _geomean(ratios)}
     return payload
 
 
@@ -46,22 +89,41 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.smoke",
         description="Quick benchmark pass: one small cavity measurement "
-                    "per direction-setting fusion config; appends to "
-                    "BENCH_HISTORY.jsonl for the regression gate.")
+                    "per direction-setting fusion config, under both the "
+                    "interpreted and compiled backends; appends to "
+                    "BENCH_HISTORY.jsonl and gates on the compiled "
+                    "speedup.")
     parser.add_argument("--steps", type=int, default=3,
                         help="coarse steps per measurement (default 3)")
     parser.add_argument("--out", default=None,
                         help="output directory (default: $BENCH_OUT_DIR "
                              "or the repo root)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="required compiled/interpreted geomean "
+                             "speedup (default $REPRO_SMOKE_MIN_SPEEDUP "
+                             f"or {DEFAULT_MIN_SPEEDUP})")
     args = parser.parse_args(argv)
+    min_speedup = args.min_speedup
+    if min_speedup is None:
+        min_speedup = float(os.environ.get("REPRO_SMOKE_MIN_SPEEDUP",
+                                           DEFAULT_MIN_SPEEDUP))
 
     payload = run_smoke(steps=args.steps)
+    # History first: a gate failure must still leave its evidence line.
     path = write_bench_json("smoke", payload, args.out)
     for name, s in payload["measurements"].items():
-        print(f"  {name:<14} wall {s['wall_seconds']:.3f}s  "
-              f"{s['kernels_per_step']:.0f} kernels/step  "
-              f"arena peak {s['arena_peak_bytes']} B")
+        ratio = payload["speedup"][name]["speedup"]
+        print(f"  {name:<14} interpreted {s['wall_seconds']:.3f}s  "
+              f"compiled {payload['compiled'][name]['wall_seconds']:.3f}s  "
+              f"speedup {ratio:.2f}x  "
+              f"{s['kernels_per_step']:.0f} kernels/step")
+    mean = payload["speedup"]["mean"]["speedup"]
+    print(f"  geomean speedup {mean:.2f}x (gate: >= {min_speedup:.2f}x)")
     print(f"  wrote {path} (+ BENCH_HISTORY.jsonl line)")
+    if mean < min_speedup:
+        print(f"  FAIL: compiled backend below the {min_speedup:.2f}x "
+              f"speedup gate")
+        return 1
     return 0
 
 

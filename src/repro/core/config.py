@@ -63,6 +63,11 @@ class SimConfig:
     max_workers / executor_debug:
         Forwarded to :class:`~repro.neon.executor.WaveExecutor` when
         threading is enabled.
+    backend:
+        Execution backend name (see :mod:`repro.backend`):
+        ``"interpreted"`` (reference), ``"compiled"`` (step-plan replay)
+        or ``"compiled-aa"`` (plus AA-pattern buffer dropping).  ``None``
+        defers to ``$REPRO_BACKEND`` and falls back to interpreted.
     """
 
     lattice: Any = "D3Q19"
@@ -75,6 +80,7 @@ class SimConfig:
     threaded: bool | None = None
     max_workers: int | None = None
     executor_debug: bool | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if (self.viscosity is None) == (self.omega0 is None):
@@ -92,6 +98,12 @@ class SimConfig:
             object.__setattr__(self, "dtype", np.dtype(self.dtype).type)
         if self.max_workers is not None and int(self.max_workers) < 1:
             raise ValueError("max_workers must be >= 1")
+        if self.backend is not None:
+            from ..backend import available_backends
+            if self.backend not in available_backends():
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; available: "
+                    f"{', '.join(available_backends())}")
 
     def replace(self, **changes) -> "SimConfig":
         """A copy with ``changes`` applied (re-validated).
@@ -116,4 +128,5 @@ class SimConfig:
             "threaded": self.threaded,
             "max_workers": self.max_workers,
             "executor_debug": self.executor_debug,
+            "backend": self.backend,
         }

@@ -97,6 +97,10 @@ class Engine:
             self.force = [f0 * 0.5 ** lv for lv in range(mgrid.num_levels)]
         #: 1 / (2 * 2^d): the Coalescence average over 2^d children x 2 substeps.
         self.inv_navg = 1.0 / (2.0 * 2 ** mgrid.d)
+        #: Bumped whenever engine state is mutated outside the step path
+        #: (checkpoint restore); compiled step plans key their cache on it
+        #: so a stale plan is never replayed against replaced buffers.
+        self.state_epoch = 0
         self.levels = [self._build_level(cl) for cl in mgrid.levels]
 
     # -- setup ----------------------------------------------------------------

@@ -141,7 +141,9 @@ class Simulation:
                              runtime=runtime, force=config.force,
                              dtype=np.float64 if config.dtype is None
                              else config.dtype)
-        self.stepper = NonUniformStepper(self.engine, config.fusion)
+        from ..backend import resolve_backend
+        self.stepper = NonUniformStepper(self.engine, config.fusion,
+                                         backend=resolve_backend(config.backend))
         self.engine.initialize()
         self.elapsed = 0.0
         threaded = config.threaded
@@ -168,6 +170,11 @@ class Simulation:
     @property
     def steps_done(self) -> int:
         return self.stepper.steps_done
+
+    @property
+    def backend(self):
+        """The execution backend driving :meth:`step` (see :mod:`repro.backend`)."""
+        return self.stepper.backend
 
     def initialize(self, rho: float = 1.0, u=None) -> None:
         """(Re-)initialise the populations to equilibrium; resets timing."""

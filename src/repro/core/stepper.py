@@ -6,12 +6,24 @@ by one time step; level ``L`` executes ``2^L`` substeps per coarse step
 :class:`~repro.core.fusion.FusionConfig` — only the kernel grouping
 changes, which is how the paper's Fig. 2 graphs are generated from the
 very same driver.
+
+*How* the step executes is delegated to a pluggable backend
+(:mod:`repro.backend`): the interpreted reference backend re-drives the
+recursion through ``Runtime.launch`` every step, while the compiled
+backends capture it once into a step plan and replay.  The recursion in
+:meth:`_advance` stays the single definition of the algorithm either
+way — compiled plans are captured *from* it, never re-implemented.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from .engine import Engine
 from .fusion import MODIFIED_BASELINE, FusionConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..backend import Backend
 
 __all__ = ["NonUniformStepper"]
 
@@ -19,28 +31,28 @@ __all__ = ["NonUniformStepper"]
 class NonUniformStepper:
     """Drives an :class:`~repro.core.engine.Engine` with Algorithm 1."""
 
-    def __init__(self, engine: Engine, config: FusionConfig = MODIFIED_BASELINE) -> None:
+    def __init__(self, engine: Engine, config: FusionConfig = MODIFIED_BASELINE,
+                 backend: "Backend | None" = None) -> None:
         self.engine = engine
         self.config = config
         self.num_levels = engine.mgrid.num_levels
         self.steps_done = 0
+        if backend is None:
+            from ..backend.interpreted import InterpretedBackend
+            backend = InterpretedBackend()
+        #: Execution strategy for :meth:`step` (see :mod:`repro.backend`).
+        self.backend = backend
 
     def step(self) -> None:
         """Advance the coarsest level by one time step.
 
-        If a kernel body raises mid-step, the partial step is closed
-        (:meth:`~repro.neon.runtime.Runtime.abort_step`) before the
-        exception propagates, so span trees stay balanced and the trace
+        Execution is delegated to :attr:`backend`; every backend honours
+        the same contract: one step marker per coarse step, and
+        :meth:`~repro.neon.runtime.Runtime.abort_step` before a mid-step
+        failure propagates, so span trees stay balanced and the trace
         remains exportable/valid.
         """
-        rt = self.engine.rt
-        try:
-            self._advance(0)
-            rt.step_marker()
-        except BaseException:
-            rt.abort_step()
-            raise
-        self.steps_done += 1
+        self.backend.step(self)
 
     def run(self, n_steps: int, callback=None, callback_every: int = 1) -> None:
         """Run ``n_steps`` coarse steps, optionally invoking ``callback(self)``."""

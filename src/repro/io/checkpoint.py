@@ -160,6 +160,10 @@ def restore_checkpoint(sim: Simulation, path: str) -> None:
         buf.ghost_acc[:] = data[f"gacc_{lv}"]
     steps = int(data["steps"])
     sim.stepper.steps_done = steps
+    # State mutated outside the step path: compiled backends key their
+    # plan cache on the epoch, so a plan bound before the restore is
+    # recompiled rather than replayed against the restored buffers.
+    sim.engine.state_epoch += 1
     # Rebase the trace: the restored steps happened outside this
     # runtime's records, so per-step metrics must not average the new
     # trace over them (they'd report skewed kernels/bytes per step).

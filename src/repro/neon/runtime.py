@@ -73,6 +73,7 @@ class KernelRecord:
 
     @property
     def bytes_total(self) -> int:
+        """Declared DRAM traffic of the launch (reads + writes)."""
         return self.bytes_read + self.bytes_written
 
 
@@ -125,6 +126,14 @@ class Runtime:
                reads: tuple[FieldRef, ...] = (), writes: tuple[FieldRef, ...] = (),
                atomic_bytes: int = 0, tag: str = "",
                fn: KernelBody | None = None) -> None:
+        """Record one kernel launch and run (or defer/skip) its body.
+
+        Appends a :class:`KernelRecord` built from the *declared*
+        access sets and byte counts, then dispatches ``fn`` through
+        whichever hooks are installed: plan-only mode records without
+        executing, a fault hook may wrap the body, a tracer shadows
+        its accesses, and an executor queues it for wave replay.
+        """
         if self.plan_only:
             # Declaration-only capture: the record is the whole launch.
             # Bodies, tracers, executors and fault hooks are all bypassed —
@@ -315,6 +324,27 @@ class Runtime:
         """Leave plan-only mode; subsequent launches execute normally."""
         self.plan_only = False
 
+    def capture_plan(self, drive: Callable[[], None]) -> list[KernelRecord]:
+        """Capture the declaration stream ``drive`` would launch.
+
+        Runs ``drive`` under plan-only mode and returns the records it
+        appended, leaving the runtime's trace exactly as it was: the
+        captured declarations are removed again, so profiling and
+        per-step accounting never see the phantom launches.  This is the
+        capture primitive behind compiled step plans
+        (:mod:`repro.backend.compiler`).
+        """
+        self.flush()
+        base = len(self.records)
+        self.plan_start()
+        try:
+            drive()
+        finally:
+            self.plan_stop()
+        captured = self.records[base:]
+        del self.records[base:]
+        return captured
+
     # -- access capture ------------------------------------------------------
     def capture_start(self) -> None:
         """Shadow-record every kernel body's actual buffer accesses.
@@ -347,9 +377,11 @@ class Runtime:
         return self.records[start:self.markers[-1]]
 
     def launches(self) -> int:
+        """Total kernel launches recorded since the last reset."""
         return len(self.records)
 
     def total_bytes(self) -> int:
+        """Total declared DRAM traffic over all recorded launches."""
         return sum(r.bytes_total for r in self.records)
 
     def summary_by_name(self) -> dict[str, dict[str, int]]:

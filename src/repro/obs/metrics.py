@@ -205,6 +205,23 @@ def run_metrics(sim, registry: MetricsRegistry | None = None,
         reg.gauge("arena_peak_bytes",
                   "buffer-arena peak occupancy over one step (B)").set(
             arena_peak_bytes(lts))
+    backend = getattr(getattr(sim, "stepper", None), "backend", None)
+    stats = getattr(backend, "stats", None)
+    if stats:
+        # Compiled backends: plan-cache behaviour and compile overhead.
+        for key in ("plan_cache_hits", "plan_cache_misses",
+                    "plan_fallback_steps"):
+            if key in stats:
+                reg.counter(key, {
+                    "plan_cache_hits": "steps replayed from a cached plan",
+                    "plan_cache_misses": "step-plan compilations",
+                    "plan_fallback_steps":
+                        "steps delegated to the interpreted path",
+                }[key]).value = float(stats[key])
+        if "plan_compile_seconds" in stats:
+            reg.gauge("plan_compile_seconds",
+                      "wall time spent compiling step plans").set(
+                float(stats["plan_compile_seconds"]))
     if sim.elapsed > 0 and traced_steps > 0:
         reg.gauge("wall_mlups", "measured MLUPS (paper formula)").set(
             mlups(sim.mgrid.active_per_level(), traced_steps, sim.elapsed))

@@ -45,6 +45,7 @@ class RunReport:
     config: str
     steps: int                     # coarse steps covered by the trace
     device: str
+    backend: str                   # execution backend the run used
     status: dict                   # watchdog outcome ({"status": ...})
     n_records: int
     kernels_per_step: list[int]
@@ -62,6 +63,7 @@ class RunReport:
         return {
             "workload": self.workload, "config": self.config,
             "steps": self.steps, "device": self.device,
+            "backend": self.backend,
             "status": self.status, "n_records": self.n_records,
             "kernels_per_step": self.kernels_per_step,
             "partial_step": self.partial_step,
@@ -164,6 +166,7 @@ def collect_report(sim, recorder: SpanRecorder,
     return RunReport(
         workload=workload, config=sim.stepper.config.name,
         steps=min(len(markers), completed), device=device.name,
+        backend=getattr(sim.stepper.backend, "name", "interpreted"),
         status=status or {"status": "ok"},
         n_records=len(rt.records), kernels_per_step=per_step,
         partial_step=partial,
@@ -190,7 +193,7 @@ def render_text(rep: RunReport) -> str:
     m = rep.metrics
     lines = [
         f"== run report: {rep.workload or '?'} / {rep.config} "
-        f"on {rep.device} ==",
+        f"on {rep.device} [{rep.backend}] ==",
         f"status        : {rep.status.get('status', '?')}"
         + ("  [trace truncated mid-step]" if rep.partial_step else ""),
         f"steps         : {rep.steps} traced "

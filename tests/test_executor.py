@@ -228,9 +228,16 @@ class TestMidStepFailure:
 
     def make(self, threaded):
         wl = WORKLOADS["2d"]()
-        return Simulation(wl.spec, wl.lattice, wl.collision,
-                          viscosity=wl.viscosity, config=MODIFIED_BASELINE,
-                          threaded=threaded)
+        sim = Simulation(wl.spec, wl.lattice, wl.collision,
+                         viscosity=wl.viscosity, config=MODIFIED_BASELINE,
+                         threaded=threaded)
+        # The failure is injected by monkeypatching an engine kernel
+        # body, which only the re-dispatching interpreted backend can
+        # observe (compiled plans bind bodies at compile time); the
+        # compiled-path error contract is covered in test_backend.py.
+        from repro.backend import InterpretedBackend
+        sim.stepper.backend = InterpretedBackend()
+        return sim
 
     @pytest.mark.parametrize("threaded", [False, True])
     def test_partial_step_closed_on_error(self, threaded):

@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Internal markdown link checker (stdlib only) — part of `make docs-check`.
+
+Walks every tracked ``*.md`` file in the repository, extracts inline
+markdown links ``[text](target)``, and verifies the *internal* ones:
+
+* relative file links must resolve to an existing file or directory;
+* ``#fragment`` anchors (same-file or ``file.md#fragment``) must match
+  a heading in the target document, using GitHub's slug rules
+  (lowercase, punctuation stripped, spaces to hyphens, duplicate slugs
+  suffixed ``-1``, ``-2``, …).
+
+External links (``http(s)://``, ``mailto:``) are skipped — this gate
+must pass offline and never flake on someone else's server.  Exit
+status is non-zero iff any internal link is broken; every problem is
+printed as ``file:line: message``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from collections import Counter
+
+#: Inline links; images share the syntax bar the leading ``!``.
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+#: Markup stripped from heading text before slugging (emphasis, code).
+_MD_MARKUP_RE = re.compile(r"[*_`]|\[([^\]]*)\]\([^)]*\)")
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (ASCII approximation)."""
+    text = _MD_MARKUP_RE.sub(lambda m: m.group(1) or "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: pathlib.Path) -> set[str]:
+    """All anchor slugs a markdown file exposes (fenced code excluded)."""
+    slugs: Counter[str] = Counter()
+    out: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = slugs[slug]
+        slugs[slug] += 1
+        out.add(slug if n == 0 else f"{slug}-{n}")
+    return out
+
+
+def iter_links(path: pathlib.Path):
+    """Yield ``(lineno, target)`` for every inline link, skipping code fences."""
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in _LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path,
+               anchor_cache: dict[pathlib.Path, set[str]]) -> list[str]:
+    """All broken-internal-link findings for one markdown file."""
+    problems: list[str] = []
+    rel = path.relative_to(root)
+    for lineno, target in iter_links(path):
+        if target.startswith(_EXTERNAL):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            dest = (root / base if base.startswith("/")
+                    else path.parent / base).resolve()
+            if not dest.exists():
+                problems.append(f"{rel}:{lineno}: broken link: {target} "
+                                f"({base} does not exist)")
+                continue
+        else:
+            dest = path.resolve()
+        if fragment and dest.suffix == ".md" and dest.is_file():
+            if dest not in anchor_cache:
+                anchor_cache[dest] = heading_anchors(dest)
+            if fragment.lower() not in anchor_cache[dest]:
+                problems.append(f"{rel}:{lineno}: broken anchor: {target} "
+                                f"(no heading #{fragment})")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python tools/check_links.py",
+        description="Verify internal markdown links and anchors resolve.")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: this script's parent)")
+    args = parser.parse_args(argv)
+    root = pathlib.Path(args.root).resolve() if args.root \
+        else pathlib.Path(__file__).resolve().parent.parent
+    md_files = sorted(
+        p for p in root.rglob("*.md")
+        if not any(part.startswith(".") or part in ("node_modules", "build")
+                   for part in p.relative_to(root).parts))
+    anchor_cache: dict[pathlib.Path, set[str]] = {}
+    problems: list[str] = []
+    for path in md_files:
+        problems.extend(check_file(path, root, anchor_cache))
+    for p in problems:
+        print(p)
+    print(f"checked {len(md_files)} markdown files: "
+          f"{len(problems)} broken internal link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
