@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-threaded test-compiled lint lint-strict docs-check analysis static-check threaded-check obs report bench-smoke bench-check resilience-check check
+.PHONY: test test-threaded test-compiled test-mp lint lint-strict docs-check analysis static-check threaded-check obs report bench-smoke bench-check resilience-check check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -15,6 +15,15 @@ test-threaded:
 # by contract; hooks that need per-launch dispatch fall back visibly).
 test-compiled:
 	REPRO_BACKEND=compiled $(PYTHON) -m pytest -x -q
+
+# Spawn-mode smoke: a focused tier-1 subset executed through the
+# process-parallel mp backend (ambient $REPRO_BACKEND selection).  Every
+# stepping simulation spawns its own worker pool, so the *full* suite
+# under mp would be pathological; the dedicated suite plus the
+# facade/physics subsets cover the contract.
+test-mp:
+	REPRO_BACKEND=mp $(PYTHON) -m pytest -x -q tests/test_mp_backend.py \
+		tests/test_simulation.py tests/test_fusion_equivalence.py
 
 # ruff and mypy are optional dev tools (pip install -e ".[lint]").
 # Skipping when absent is deliberate: the guard only bypasses the tool
@@ -93,4 +102,4 @@ bench-check: bench-smoke
 resilience-check:
 	$(PYTHON) -m repro.resilience --out resilience-artifacts
 
-check: lint docs-check test test-threaded test-compiled threaded-check static-check resilience-check report bench-check
+check: lint docs-check test test-threaded test-compiled test-mp threaded-check static-check resilience-check report bench-check

@@ -17,6 +17,12 @@ coarse step does; a backend decides *how* it runs:
   plan plus AA-pattern in-place streaming: population double buffers
   the static linter proves droppable are physically replaced by arena
   scratch (paper §VI-B's memory win).
+* :class:`~repro.backend.mp.MultiprocessBackend` — process-parallel
+  replay of the same admitted plans: level buffers live in shared
+  memory, a spawn-based worker pool executes cost-model-balanced
+  kernel shards wave-by-wave, escaping the GIL entirely.  Bit-identical
+  to the interpreted path; worker death surfaces as a recoverable
+  :class:`~repro.backend.mp.MpWorkerError`.
 
 Select a backend with ``SimConfig(backend="compiled")`` or the
 ``$REPRO_BACKEND`` environment variable; the default is interpreted.
@@ -29,10 +35,11 @@ from .base import (Backend, PlanAdmissionError, available_backends,
                    make_backend, resolve_backend)
 from .compiled import CompiledAABackend, CompiledBackend
 from .interpreted import InterpretedBackend
+from .mp import MpWorkerError, MultiprocessBackend
 from .plan import StepPlan
 
 __all__ = [
     "Backend", "PlanAdmissionError", "available_backends", "make_backend",
     "resolve_backend", "InterpretedBackend", "CompiledBackend",
-    "CompiledAABackend", "StepPlan",
+    "CompiledAABackend", "MultiprocessBackend", "MpWorkerError", "StepPlan",
 ]

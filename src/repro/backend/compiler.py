@@ -52,7 +52,7 @@ from .plan import StepPlan
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.stepper import NonUniformStepper
 
-__all__ = ["compile_plan", "prove_plan_legality"]
+__all__ = ["admit_stream", "compile_plan", "prove_plan_legality"]
 
 KernelBody = Callable[[], None]
 
@@ -92,22 +92,22 @@ def prove_plan_legality(stepper: "NonUniformStepper",
         primitives=prims, counterexamples=tuple(cex))
 
 
-def compile_plan(stepper: "NonUniformStepper", *, drop_proven: bool = False,
-                 workload: str = "") -> StepPlan:
-    """Compile one coarse step of ``stepper`` into a :class:`StepPlan`.
+def admit_stream(stepper: "NonUniformStepper", *, workload: str = ""):
+    """Capture one step's declaration stream and run plan admission.
 
-    ``drop_proven`` enables AA-pattern in-place streaming: population
-    double buffers the lint pass proves droppable (allocated but never
-    accessed by any kernel of the stream — the CASE register file) are
-    physically replaced by arena scratch instead of the engine buffer.
+    The shared front half of every plan-replaying backend: the stream is
+    captured in plan-only mode, linted, proven a legal contraction on
+    the live geometry and tied to a validated certificate.  Returns
+    ``(records, certificate, lint_report)``; raises
+    :class:`~repro.backend.base.PlanAdmissionError` when any part of the
+    PR-5 contract fails — an inadmissible stream is never executed, in
+    this process or any worker process replaying shards of it.
     """
     engine = stepper.engine
     rt = engine.rt
     records = rt.capture_plan(lambda: stepper._advance(0))
     if not records:
         raise PlanAdmissionError(["captured step stream is empty"])
-
-    # -- admission (PR-5 contract) ------------------------------------------
     model = AccessModel(engine)
     lint = lint_stream(records, model)
     problems = [str(f) for f in lint.errors]
@@ -120,6 +120,21 @@ def compile_plan(stepper: "NonUniformStepper", *, drop_proven: bool = False,
     problems.extend(validate_certificate(cert, records))
     if problems:
         raise PlanAdmissionError(problems)
+    return records, cert, lint
+
+
+def compile_plan(stepper: "NonUniformStepper", *, drop_proven: bool = False,
+                 workload: str = "") -> StepPlan:
+    """Compile one coarse step of ``stepper`` into a :class:`StepPlan`.
+
+    ``drop_proven`` enables AA-pattern in-place streaming: population
+    double buffers the lint pass proves droppable (allocated but never
+    accessed by any kernel of the stream — the CASE register file) are
+    physically replaced by arena scratch instead of the engine buffer.
+    """
+    engine = stepper.engine
+    records, cert, lint = admit_stream(stepper, workload=workload)
+    label = workload or f"live-{engine.mgrid.d}d-{stepper.num_levels}lvl"
 
     dropped: tuple[str, ...] = ()
     if drop_proven:

@@ -85,46 +85,54 @@ def default_concurrency(config: FusionConfig) -> bool:
 def measure(workload: Workload, config: FusionConfig, steps: int = 5,
             warmup: int = 1, device: DeviceSpec = A100_40GB,
             concurrent: bool | None = None,
-            backend: str | None = None) -> Measurement:
+            backend: str | None = None,
+            threaded: bool | None = None) -> Measurement:
     """Run ``steps`` coarse steps and cost the recorded trace on ``device``.
 
     ``backend`` selects the execution backend (``None`` defers to
     ``$REPRO_BACKEND``, like direct construction does); with a compiled
     backend the ``warmup`` steps absorb plan compilation, so the timed
-    window measures pure replay.
+    window measures pure replay.  ``threaded`` forces the wave executor
+    on or off (``None`` defers to ``$REPRO_THREADED``).  The simulation
+    is closed before returning, so mp worker pools and executor threads
+    never outlive the measurement.
     """
     if concurrent is None:
         concurrent = default_concurrency(config)
-    sim = Simulation.from_config(workload.spec,
-                                 workload.sim_config(fusion=config),
-                                 backend=backend)
-    if warmup:
-        sim.run(warmup)
-    sim.runtime.reset(steps_base=sim.steps_done)
-    sim.elapsed = 0.0
-    start_steps = sim.steps_done
-    sim.run(steps)
-    n = sim.steps_done - start_steps
-    records = list(sim.runtime.records)
-    kbc = workload.collision.lower() == "kbc"
-    cost = cost_trace(records, device, kbc=kbc, concurrent=concurrent)
-    active = sim.mgrid.active_per_level()
-    from ..obs.metrics import run_metrics
-    registry = run_metrics(sim)
-    registry.gauge("sim_mlups", "cost-model MLUPS on the target device").set(
-        predicted_mlups(active, n, cost))
-    arena_peak = int(registry["arena_peak_bytes"].value) \
-        if "arena_peak_bytes" in registry else 0
-    return Measurement(
-        workload=workload.name, config=config.name, steps=n,
-        backend=sim.backend.name,
-        active_per_level=active,
-        wall_seconds=sim.elapsed,
-        wall_mlups=mlups(active, n, sim.elapsed),
-        trace=records, cost=cost,
-        sim_mlups=predicted_mlups(active, n, cost),
-        metrics=registry.as_dict(),
-        arena_peak_bytes=arena_peak)
+    sim = Simulation.from_config(
+        workload.spec, workload.sim_config(fusion=config, threaded=threaded),
+        backend=backend)
+    try:
+        if warmup:
+            sim.run(warmup)
+        sim.runtime.reset(steps_base=sim.steps_done)
+        sim.elapsed = 0.0
+        start_steps = sim.steps_done
+        sim.run(steps)
+        n = sim.steps_done - start_steps
+        records = list(sim.runtime.records)
+        kbc = workload.collision.lower() == "kbc"
+        cost = cost_trace(records, device, kbc=kbc, concurrent=concurrent)
+        active = sim.mgrid.active_per_level()
+        from ..obs.metrics import run_metrics
+        registry = run_metrics(sim)
+        registry.gauge("sim_mlups",
+                       "cost-model MLUPS on the target device").set(
+            predicted_mlups(active, n, cost))
+        arena_peak = int(registry["arena_peak_bytes"].value) \
+            if "arena_peak_bytes" in registry else 0
+        return Measurement(
+            workload=workload.name, config=config.name, steps=n,
+            backend=sim.backend.name,
+            active_per_level=active,
+            wall_seconds=sim.elapsed,
+            wall_mlups=mlups(active, n, sim.elapsed),
+            trace=records, cost=cost,
+            sim_mlups=predicted_mlups(active, n, cost),
+            metrics=registry.as_dict(),
+            arena_peak_bytes=arena_peak)
+    finally:
+        sim.close()
 
 
 def compare_serial_threaded(workload: Workload, config: FusionConfig,

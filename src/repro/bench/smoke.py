@@ -19,6 +19,14 @@ same way a broken test would.  The history line is written *before* the
 gate is judged, so a failing run still leaves its evidence in the
 trajectory.
 
+A second leg (:func:`run_mp_smoke`, skippable with ``--skip-mp``)
+measures the process-parallel mp backend against the threaded executor
+on a larger cavity and appends its own ``smoke_mp`` history record,
+salted with ``backend="mp"`` so the series keeps a separate baseline.
+On hosts with two or more cores the mp leg gates on
+``$REPRO_SMOKE_MP_MIN_SPEEDUP`` (default 1.3×); everywhere it gates on
+the pool actually being used (zero counted fallback steps).
+
 Runs in seconds and needs nothing beyond the package itself, which is
 what ``make bench-check`` and the ``perf-observatory`` CI job want.
 """
@@ -29,7 +37,8 @@ import argparse
 import os
 from typing import Sequence
 
-__all__ = ["SMOKE_CONFIGS", "DEFAULT_MIN_SPEEDUP", "run_smoke", "main"]
+__all__ = ["SMOKE_CONFIGS", "MP_SMOKE_CONFIG", "DEFAULT_MIN_SPEEDUP",
+           "DEFAULT_MP_MIN_SPEEDUP", "run_smoke", "run_mp_smoke", "main"]
 
 #: Config names measured by the smoke pass — the endpoints of Fig. 9's
 #: ablation (both baselines and the full fusion), enough to catch a
@@ -39,6 +48,17 @@ SMOKE_CONFIGS = ("baseline-4a", "baseline-4b", "ours-4f")
 #: Compiled-over-interpreted geometric-mean speedup the smoke pass
 #: requires (override with ``$REPRO_SMOKE_MIN_SPEEDUP``).
 DEFAULT_MIN_SPEEDUP = 1.3
+
+#: Config measured by the process-parallel leg (the paper's best; one
+#: config keeps the leg fast — the bit-identity of the others is the
+#: test suite's job, not the benchmark's).
+MP_SMOKE_CONFIG = "ours-4f"
+
+#: mp-over-threaded speedup the smoke pass requires on multi-core hosts
+#: (override with ``$REPRO_SMOKE_MP_MIN_SPEEDUP``).  Single-core hosts
+#: report the ratio but never gate on it: with one core the worker pool
+#: cannot beat in-process threads no matter how well it shards.
+DEFAULT_MP_MIN_SPEEDUP = 1.3
 
 
 def _geomean(values: Sequence[float]) -> float:
@@ -83,6 +103,45 @@ def run_smoke(steps: int = 3, warmup: int = 1) -> dict:
     return payload
 
 
+def run_mp_smoke(steps: int = 3, warmup: int = 1) -> dict:
+    """Measure the mp backend against the threaded in-process executor.
+
+    Uses a larger cavity than the main pass (64x64) so kernel work
+    dominates the per-wave IPC round-trips, and a single config
+    (:data:`MP_SMOKE_CONFIG`).  The payload carries ``backend: "mp"``,
+    which salts the history record's config digest — the mp series gets
+    its own regression baseline instead of being judged against (or
+    flattering) the in-process series.
+    """
+    from ..core.fusion import get_config
+    from .harness import measure
+    from .workloads import lid_cavity
+
+    wl = lid_cavity(base=(64, 64), num_levels=2, lattice="D2Q9")
+    cfg = get_config(MP_SMOKE_CONFIG)
+    mt = measure(wl, cfg, steps=steps, warmup=warmup,
+                 backend="interpreted", threaded=True)
+    mm = measure(wl, cfg, steps=steps, warmup=warmup,
+                 backend="mp", threaded=False)
+    speedup = (mt.wall_seconds / mm.wall_seconds
+               if mm.wall_seconds > 0 else float("inf"))
+    vals = mm.metrics.get("metrics", {})
+
+    def _val(key):
+        return vals.get(key, {}).get("value", 0.0)
+
+    return {
+        "workload": wl.name, "steps": steps, "backend": "mp",
+        "cpu_count": os.cpu_count() or 1,
+        "threaded": mt.summary(), "mp": mm.summary(),
+        "speedup": {MP_SMOKE_CONFIG: {"speedup": speedup}},
+        "mp_pool": {"workers": _val("mp_workers"),
+                    "utilisation": _val("mp_utilisation"),
+                    "imbalance": _val("mp_shard_imbalance"),
+                    "fallback_steps": _val("plan_fallback_steps")},
+    }
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     from ..obs.metrics import write_bench_json
 
@@ -102,6 +161,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="required compiled/interpreted geomean "
                              "speedup (default $REPRO_SMOKE_MIN_SPEEDUP "
                              f"or {DEFAULT_MIN_SPEEDUP})")
+    parser.add_argument("--skip-mp", action="store_true",
+                        help="skip the process-parallel (mp backend) leg")
     args = parser.parse_args(argv)
     min_speedup = args.min_speedup
     if min_speedup is None:
@@ -120,11 +181,37 @@ def main(argv: Sequence[str] | None = None) -> int:
     mean = payload["speedup"]["mean"]["speedup"]
     print(f"  geomean speedup {mean:.2f}x (gate: >= {min_speedup:.2f}x)")
     print(f"  wrote {path} (+ BENCH_HISTORY.jsonl line)")
-    if mean < min_speedup:
+    failed = mean < min_speedup
+    if failed:
         print(f"  FAIL: compiled backend below the {min_speedup:.2f}x "
               f"speedup gate")
-        return 1
-    return 0
+    if not args.skip_mp:
+        mp_min = float(os.environ.get("REPRO_SMOKE_MP_MIN_SPEEDUP",
+                                      DEFAULT_MP_MIN_SPEEDUP))
+        mp_payload = run_mp_smoke(steps=args.steps)
+        # Separate bench name + backend salt: the mp series starts its
+        # own baseline in the history trajectory.
+        mp_path = write_bench_json("smoke_mp", mp_payload, args.out)
+        ratio = mp_payload["speedup"][MP_SMOKE_CONFIG]["speedup"]
+        pool = mp_payload["mp_pool"]
+        cores = mp_payload["cpu_count"]
+        print(f"  {MP_SMOKE_CONFIG:<14} threaded "
+              f"{mp_payload['threaded']['wall_seconds']:.3f}s  "
+              f"mp {mp_payload['mp']['wall_seconds']:.3f}s  "
+              f"speedup {ratio:.2f}x  "
+              f"({pool['workers']:.0f} workers, "
+              f"util {pool['utilisation']:.2f}, {cores} cores)")
+        print(f"  wrote {mp_path} (+ BENCH_HISTORY.jsonl line)")
+        if pool["fallback_steps"]:
+            print(f"  FAIL: mp leg fell back to in-process execution for "
+                  f"{pool['fallback_steps']:.0f} steps")
+            failed = True
+        elif cores >= 2 and ratio < mp_min:
+            # Only gate where a speedup is physically possible.
+            print(f"  FAIL: mp backend below the {mp_min:.2f}x "
+                  f"speedup gate on a {cores}-core host")
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m

@@ -65,9 +65,14 @@ class SimConfig:
         threading is enabled.
     backend:
         Execution backend name (see :mod:`repro.backend`):
-        ``"interpreted"`` (reference), ``"compiled"`` (step-plan replay)
-        or ``"compiled-aa"`` (plus AA-pattern buffer dropping).  ``None``
-        defers to ``$REPRO_BACKEND`` and falls back to interpreted.
+        ``"interpreted"`` (reference), ``"compiled"`` (step-plan replay),
+        ``"compiled-aa"`` (plus AA-pattern buffer dropping) or ``"mp"``
+        (process-parallel shared-memory replay).  ``None`` defers to
+        ``$REPRO_BACKEND`` and falls back to interpreted.
+    mp_workers:
+        Worker-process count for the ``"mp"`` backend; ``None`` defers
+        to ``$REPRO_MP_WORKERS`` and then a small core-count default.
+        Ignored by the in-process backends.
     """
 
     lattice: Any = "D3Q19"
@@ -81,6 +86,7 @@ class SimConfig:
     max_workers: int | None = None
     executor_debug: bool | None = None
     backend: str | None = None
+    mp_workers: int | None = None
 
     def __post_init__(self) -> None:
         if (self.viscosity is None) == (self.omega0 is None):
@@ -98,6 +104,8 @@ class SimConfig:
             object.__setattr__(self, "dtype", np.dtype(self.dtype).type)
         if self.max_workers is not None and int(self.max_workers) < 1:
             raise ValueError("max_workers must be >= 1")
+        if self.mp_workers is not None and int(self.mp_workers) < 1:
+            raise ValueError("mp_workers must be >= 1")
         if self.backend is not None:
             from ..backend import available_backends
             if self.backend not in available_backends():
@@ -129,4 +137,5 @@ class SimConfig:
             "max_workers": self.max_workers,
             "executor_debug": self.executor_debug,
             "backend": self.backend,
+            "mp_workers": self.mp_workers,
         }

@@ -142,8 +142,14 @@ class Simulation:
                              dtype=np.float64 if config.dtype is None
                              else config.dtype)
         from ..backend import resolve_backend
+        backend = resolve_backend(config.backend)
+        configure = getattr(backend, "configure", None)
+        if configure is not None:
+            # Backend-specific SimConfig knobs (e.g. mp_workers) without
+            # widening the duck-typed Backend protocol.
+            configure(config)
         self.stepper = NonUniformStepper(self.engine, config.fusion,
-                                         backend=resolve_backend(config.backend))
+                                         backend=backend)
         self.engine.initialize()
         self.elapsed = 0.0
         threaded = config.threaded
@@ -233,8 +239,16 @@ class Simulation:
         return self.engine.rt.executor
 
     def close(self) -> None:
-        """Flush deferred work and release executor worker threads."""
+        """Flush deferred work and release executor/backend resources.
+
+        Backends owning external resources (the mp backend's worker
+        processes and shared-memory arena) expose a duck-typed
+        ``close()``; in-process backends have nothing to release.
+        """
         self.disable_threading()
+        close = getattr(self.stepper.backend, "close", None)
+        if close is not None:
+            close()
 
     def __enter__(self) -> "Simulation":
         return self

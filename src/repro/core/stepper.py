@@ -9,10 +9,12 @@ very same driver.
 
 *How* the step executes is delegated to a pluggable backend
 (:mod:`repro.backend`): the interpreted reference backend re-drives the
-recursion through ``Runtime.launch`` every step, while the compiled
-backends capture it once into a step plan and replay.  The recursion in
-:meth:`_advance` stays the single definition of the algorithm either
-way — compiled plans are captured *from* it, never re-implemented.
+recursion through ``Runtime.launch`` every step, the compiled backends
+capture it once into a step plan and replay, and the mp backend ships
+shards of that same captured plan to worker processes over shared
+memory.  The recursion in :meth:`_advance` stays the single definition
+of the algorithm either way — plans are captured *from* it (in this
+process or a digest-checked worker), never re-implemented.
 """
 
 from __future__ import annotations

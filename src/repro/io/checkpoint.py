@@ -235,8 +235,13 @@ class CheckpointStore:
         """Checkpoint ``sim`` at its current step; return the file path.
 
         Saving the same step twice overwrites that generation (the
-        rollback-retry loop re-checkpoints reliably).  Extra ``meta``
-        keys land in the manifest entry.
+        rollback-retry loop re-checkpoints reliably).  A save at a step
+        *earlier* than existing generations — rollback, then re-run —
+        makes this step the new head of the lineage: generations beyond
+        it belong to the abandoned timeline and are dropped, so
+        :meth:`restore_latest` can never resurrect state the run
+        explicitly rolled back past.  Extra ``meta`` keys land in the
+        manifest entry.
         """
         step = sim.steps_done
         path = self.path_for(step)
@@ -253,16 +258,30 @@ class CheckpointStore:
         man = self.manifest()
         man["format"] = _FORMAT
         man["entries"] = ([e for e in man.get("entries", [])
-                           if e.get("step") != int(step)] + [entry])
+                           if isinstance(e.get("step"), int)
+                           and e["step"] < int(step)] + [entry])
         man["entries"].sort(key=lambda e: e.get("step", 0))
         self._prune(man)
         self._write_manifest(man)
         return path
 
     def _prune(self, man: dict) -> None:
-        keep_steps = {e["step"] for e in man["entries"][-self.keep:]}
-        man["entries"] = man["entries"][-self.keep:]
-        for step in self.steps():
+        """Retain the newest ``keep`` generations of the current lineage.
+
+        The lineage head is the newest manifest entry (the save that just
+        happened).  On-disk files beyond the head are abandoned-timeline
+        leftovers and are always deleted; files at or before the head
+        count toward ``keep`` even when the manifest was lost, so a
+        corrupt manifest does not wipe every fallback generation.
+        """
+        entries = man.get("entries", [])[-self.keep:]
+        man["entries"] = entries
+        head = entries[-1].get("step") if entries else None
+        on_disk = self.steps()
+        lineage = [s for s in on_disk if head is None or s <= head]
+        keep_steps = {e.get("step") for e in entries}
+        keep_steps.update(lineage[-self.keep:])
+        for step in on_disk:
             if step not in keep_steps:
                 try:
                     os.unlink(self.path_for(step))
@@ -299,7 +318,11 @@ class CheckpointStore:
 
         Damaged generations (torn writes, truncation) are skipped
         newest-to-oldest; only when every generation is unreadable does
-        the error propagate.
+        the error propagate.  A generation deleted between the directory
+        listing and its open — another process' :meth:`save` pruning
+        while we restore — surfaces as the same :class:`CheckpointError`
+        and falls back identically, so prune racing restore degrades to
+        an older generation instead of crashing.
         """
         steps = self.steps()
         if not steps:

@@ -124,14 +124,26 @@ class WaveExecutor:
         #: Per-flush execution stats consumed by ``repro.obs.metrics``.
         self.stats: list[dict[str, Any]] = []
         self._pool: ThreadPoolExecutor | None = None
+        self._pool_pid: int | None = None
         self._finalizer: weakref.finalize | None = None
         self._verified: set[tuple[Any, ...]] = set()
 
     # -- pool lifecycle ------------------------------------------------------
     def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is not None and self._pool_pid != os.getpid():
+            # Forked child: only the forking thread survives fork, so the
+            # inherited pool's worker threads do not exist here — a submit
+            # would queue a future nothing ever completes.  Abandon the
+            # inherited object (the parent's copy is untouched) and build
+            # a fresh pool lazily in this process.
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+            self._pool = None
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self.max_workers, thread_name_prefix="repro-wave")
+            self._pool_pid = os.getpid()
             # Leaked executors (no explicit close) must not pin worker
             # threads for the life of the process.
             self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
@@ -144,6 +156,10 @@ class WaveExecutor:
             if self._finalizer is not None:
                 self._finalizer.detach()
                 self._finalizer = None
+            if self._pool_pid != os.getpid():
+                # Pool inherited across fork: its threads exist only in
+                # the parent, and joining them here would block forever.
+                return
             pool.shutdown(wait=True)
 
     # -- execution -----------------------------------------------------------

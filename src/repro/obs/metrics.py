@@ -222,6 +222,33 @@ def run_metrics(sim, registry: MetricsRegistry | None = None,
             reg.gauge("plan_compile_seconds",
                       "wall time spent compiling step plans").set(
                 float(stats["plan_compile_seconds"]))
+        if "mp_steps" in stats:
+            # Process-parallel backend: pool shape, load balance and the
+            # overheads that bound its speedup (IPC + spawn amortisation).
+            reg.counter("mp_steps",
+                        "coarse steps replayed on the worker pool").value = \
+                float(stats["mp_steps"])
+            reg.counter("mp_worker_restarts",
+                        "worker-pool respawns after a failure").value = \
+                float(stats["mp_worker_restarts"])
+            reg.gauge("mp_workers", "worker-process pool width").set(
+                float(stats["mp_workers"]))
+            reg.gauge("mp_shard_imbalance",
+                      "peak max/mean busy-time ratio across workers").set(
+                float(stats["mp_shard_imbalance"]))
+            reg.gauge("mp_setup_seconds",
+                      "pool spawn + shared-memory setup wall time").set(
+                float(stats["mp_setup_seconds"]))
+            reg.gauge("mp_ipc_overhead_ms",
+                      "step wall time not covered by worker busy time").set(
+                float(stats["mp_ipc_overhead_ms"]))
+            wall = float(stats.get("mp_step_wall_ms", 0.0))
+            workers = float(stats.get("mp_workers", 0.0))
+            if wall > 0 and workers:
+                reg.gauge(
+                    "mp_utilisation",
+                    "busy-time share of the pool during mp steps",
+                ).set(float(stats["mp_worker_busy_ms"]) / (wall * workers))
     if sim.elapsed > 0 and traced_steps > 0:
         reg.gauge("wall_mlups", "measured MLUPS (paper formula)").set(
             mlups(sim.mgrid.active_per_level(), traced_steps, sim.elapsed))

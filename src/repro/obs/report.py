@@ -206,6 +206,12 @@ def render_text(rep: RunReport) -> str:
         f"occupancy     : max {rep.occupancy.get('max_concurrent', 0)} "
         f"mean {_fmt(rep.occupancy.get('mean_concurrent', 0.0), 2)}",
     ]
+    if rep.backend == "mp":
+        lines.append(
+            f"mp pool       : {_fmt(m.get('mp_workers'), 0)} workers  "
+            f"util {_fmt(m.get('mp_utilisation'), 2)}  "
+            f"imbalance {_fmt(m.get('mp_shard_imbalance'), 2)}  "
+            f"restarts {_fmt(m.get('mp_worker_restarts'), 0)}")
     if rep.roofline is not None:
         r = rep.roofline
         lines += [

@@ -15,12 +15,18 @@ whole fusion-config matrix).
 
 When retries alone cannot help, the runner walks a degradation ladder:
 
-1. **threaded -> serial** — a :class:`~repro.neon.executor.WaveRaceError`
+1. **mp -> threaded** — repeated worker-pool failures under the
+   process-parallel backend (:class:`~repro.backend.mp.MpWorkerError`:
+   a worker died, timed out or failed mid-step) rebuild the simulation
+   on the in-process threaded executor after
+   ``executor_failures_before_serial`` strikes.  Both modes are
+   bit-identical to serial, so this rung never changes results.
+2. **threaded -> serial** — a :class:`~repro.neon.executor.WaveRaceError`
    (deterministic scheduler defect) falls back immediately; repeated
    kernel failures under the executor fall back after
    ``executor_failures_before_serial`` strikes.  Serial execution is
    bit-identical, so this rung never changes results.
-2. **reduced-omega safety profile** — repeated divergence means the
+3. **reduced-omega safety profile** — repeated divergence means the
    physics, not the machinery, is unstable; after
    ``divergences_before_safety`` strikes the simulation is rebuilt with
    the coarse relaxation rate scaled by ``omega_safety_scale`` (more
@@ -40,6 +46,7 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 
+from ..backend.mp import MpWorkerError
 from ..core.config import SimConfig
 from ..core.simulation import Simulation
 from ..core.units import omega_from_viscosity
@@ -167,7 +174,7 @@ from .faults import InjectedKernelError
 #: by the executor / deferred-drain error paths).  Anything else is a
 #: programming error and propagates untouched.
 _RECOVERABLE = (SimulationDiverged, WaveRaceError, DeviceOOMError,
-                InjectedKernelError)
+                InjectedKernelError, MpWorkerError)
 
 
 class ResilientRunner:
@@ -253,6 +260,8 @@ class ResilientRunner:
 
     @property
     def mode(self) -> str:
+        if getattr(self.sim.backend, "name", "") == "mp":
+            return "mp"
         return "threaded" if self.sim.executor is not None else "serial"
 
     # -- counters --------------------------------------------------------------
@@ -279,6 +288,7 @@ class ResilientRunner:
             self._count("checkpoints_total", "checkpoints written")
         attempts = 0
         executor_strikes = 0
+        mp_strikes = 0
         divergences = 0
         while self.sim.steps_done < report.target_step:
             segment_end = min(report.target_step,
@@ -299,13 +309,22 @@ class ResilientRunner:
                     # Budget spent on this rung: step down or give up
                     # (raises RetryExhausted with the report attached).
                     attempts = self._degrade_or_fail(report, exc)
-                    executor_strikes = divergences = 0
+                    executor_strikes = mp_strikes = divergences = 0
                 elif isinstance(exc, SimulationDiverged):
                     divergences += 1
                     if (divergences >= pol.divergences_before_safety
                             and self._omega_scale() == 1.0):
                         self._degrade_safety(report)
                         attempts = executor_strikes = divergences = 0
+                        mp_strikes = 0
+                elif self.mode == "mp":
+                    # Worker-pool failures: the backend already respawns
+                    # the pool per retry; repeated strikes abandon the
+                    # process rung for the in-process threaded executor.
+                    mp_strikes += 1
+                    if mp_strikes >= pol.executor_failures_before_serial:
+                        self._degrade_threaded(report)
+                        attempts = mp_strikes = 0
                 elif self.sim.executor is not None:
                     strikes_needed = (1 if isinstance(exc, WaveRaceError)
                                       else pol.executor_failures_before_serial)
@@ -349,6 +368,8 @@ class ResilientRunner:
             return "race"
         if isinstance(exc, DeviceOOMError):
             return "oom"
+        if isinstance(exc, MpWorkerError):
+            return "worker"
         return "kernel"
 
     def _rollback(self, report: RunReport) -> None:
@@ -372,8 +393,20 @@ class ResilientRunner:
     def _omega_scale(self) -> float:
         return getattr(self, "_omega_scale_applied", 1.0)
 
+    def _degrade_threaded(self, report: RunReport) -> None:
+        """Mp rung: rebuild on the in-process threaded executor.
+
+        The backend choice is baked in at construction, so unlike the
+        threaded -> serial rung this needs a rebuild; the caller restores
+        a checkpoint right after, exactly like the safety-profile rung.
+        """
+        at_step = self.sim.steps_done
+        self._rebuild(self.config.replace(backend="interpreted",
+                                          threaded=True))
+        self._note_degradation(report, "threaded", step=at_step)
+
     def _degrade_serial(self, report: RunReport) -> None:
-        """Rung 1: drop the wave executor; bit-identical by construction."""
+        """Threaded rung: drop the wave executor; bit-identical by construction."""
         self.sim.disable_threading()
         self.config = self.config.replace(threaded=False)
         self._note_degradation(report, "serial")
@@ -400,6 +433,9 @@ class ResilientRunner:
     def _degrade_or_fail(self, report: RunReport, exc: BaseException) -> int:
         """Retry budget spent: step down a rung (returning a reset attempt
         count of 0) or raise :class:`RetryExhausted`."""
+        if self.mode == "mp":
+            self._degrade_threaded(report)
+            return 0
         if self.sim.executor is not None:
             self._degrade_serial(report)
             return 0

@@ -264,7 +264,7 @@ class TestAdmission:
 class TestSelection:
     def test_registry_and_unknown_name(self):
         assert available_backends() == ("interpreted", "compiled",
-                                        "compiled-aa")
+                                        "compiled-aa", "mp")
         assert isinstance(make_backend("compiled"), CompiledBackend)
         assert isinstance(make_backend("compiled-aa"), CompiledAABackend)
         with pytest.raises(ValueError, match="unknown backend"):

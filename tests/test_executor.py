@@ -1,5 +1,9 @@
 """Deferred threaded wave execution: determinism, fallback and errors."""
 
+import os
+import signal
+import time
+
 import numpy as np
 import pytest
 
@@ -166,6 +170,63 @@ class TestDeferredRuntime:
         assert default_workers() == 5
         monkeypatch.delenv("REPRO_THREAD_WORKERS")
         assert default_workers() >= 2
+
+
+class TestForkSafety:
+    """A live pool inherited across ``fork`` must be replaced, not reused.
+
+    Only the forking thread survives ``fork``: the child's copy of the
+    parent's ``ThreadPoolExecutor`` lists worker threads that do not
+    exist, so a submit there queues futures nothing will ever complete.
+    Pre-fix, the child's first flush hung forever on ``fut.result()``.
+    """
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="requires fork()")
+    def test_fork_then_flush_does_not_hang(self):
+        import threading
+
+        rt = Runtime()
+        ex = WaveExecutor(max_workers=2, debug=False)
+        rt.executor_install(ex)
+        # The two bodies rendezvous, forcing the pool to its full two
+        # worker threads (a fast body can otherwise finish before the
+        # second submit, leaving a one-thread pool whose child copy could
+        # still grow a live thread and mask the bug).
+        both = threading.Barrier(2)
+        rt.launch("A", 0, n_cells=4, bytes_read=0, bytes_written=32,
+                  writes=(FieldRef("a", 0),), fn=lambda: both.wait(timeout=10))
+        rt.launch("B", 0, n_cells=4, bytes_read=0, bytes_written=32,
+                  writes=(FieldRef("b", 0),), fn=lambda: both.wait(timeout=10))
+        rt.step_marker()
+        assert len(ex._pool._threads) == 2  # noqa: SLF001 - the bug's setup
+        time.sleep(0.2)  # let both workers go idle before forking
+        pid = os.fork()
+        if pid == 0:  # child: flush a fresh two-kernel wave, then report
+            try:
+                signal.alarm(20)  # hang guard — pre-fix this fires
+                rt.launch("C", 0, n_cells=4, bytes_read=0, bytes_written=32,
+                          writes=(FieldRef("c", 0),), fn=lambda: None)
+                rt.launch("D", 0, n_cells=4, bytes_read=0, bytes_written=32,
+                          writes=(FieldRef("d", 0),), fn=lambda: None)
+                rt.step_marker()
+                ex.shutdown()  # must not join the parent's threads either
+                os._exit(0)
+            except BaseException:
+                os._exit(2)
+        deadline = time.monotonic() + 30
+        status = None
+        while time.monotonic() < deadline:
+            done, status = os.waitpid(pid, os.WNOHANG)
+            if done:
+                break
+            time.sleep(0.05)
+        else:
+            os.kill(pid, signal.SIGKILL)
+            os.waitpid(pid, 0)
+            pytest.fail("forked child hung flushing the inherited pool")
+        assert os.waitstatus_to_exitcode(status) == 0
+        rt.executor_install(None)
+        ex.shutdown()
 
 
 class TestSimulationIntegration:

@@ -182,6 +182,80 @@ class TestHistoryRecords:
             else json.load(open(os.path.join(out, "BENCH_t.json")))
         assert snap["wall_seconds"] == 2.1
 
+    def test_append_is_one_unbuffered_o_append_write(self, tmp_path,
+                                                     monkeypatch):
+        # PR-9 regression: buffered text-mode appends left record
+        # atomicity to the io stack's flushing whims; the contract is a
+        # single os.write of the whole line on an O_APPEND fd.
+        rec = build_record("b", {"wall_seconds": 1.0}, sha="abc")
+        real_open, real_write = os.open, os.write
+        opened_flags, writes = {}, []
+
+        def spy_open(path, flags, *a, **k):
+            fd = real_open(path, flags, *a, **k)
+            opened_flags[fd] = flags
+            return fd
+
+        def spy_write(fd, data):
+            writes.append((fd, bytes(data)))
+            return real_write(fd, data)
+
+        monkeypatch.setattr(os, "open", spy_open)
+        monkeypatch.setattr(os, "write", spy_write)
+        p = append_record(rec, str(tmp_path / "h.jsonl"))
+        assert len(writes) == 1
+        fd, data = writes[0]
+        assert opened_flags[fd] & os.O_APPEND
+        assert data.endswith(b"\n")
+        assert json.loads(data)["bench"] == "b"
+        assert load_history(p)[0]["git_sha"] == "abc"
+
+    def test_append_locks_lines_beyond_pipe_buf(self, tmp_path, monkeypatch):
+        import repro.bench.history as hist
+        if hist.fcntl is None:
+            pytest.skip("no fcntl on this platform")
+        locked = []
+        real_flock = hist.fcntl.flock
+        monkeypatch.setattr(
+            hist.fcntl, "flock",
+            lambda fd, op: (locked.append(op), real_flock(fd, op))[1])
+        p = str(tmp_path / "h.jsonl")
+        append_record(build_record("b", {"wall_seconds": 1.0}, sha="a"), p)
+        assert locked == []  # short line: O_APPEND alone is atomic
+        big = build_record("b", {"wall_seconds": 1.0}, sha="a",
+                           labels={"blob": "x" * (2 * hist._PIPE_BUF)})
+        append_record(big, p)
+        assert locked == [hist.fcntl.LOCK_EX]
+        assert len(load_history(p)) == 2
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="requires fork()")
+    def test_concurrent_appends_keep_records_whole(self, tmp_path):
+        # Parallel CI legs and mp workers append to one trajectory; the
+        # reader must only ever see whole records, even for lines far
+        # beyond any stdio buffer size.
+        p = str(tmp_path / "h.jsonl")
+        n_proc, n_rec = 4, 12
+        blob = "x" * 32768
+        pids = []
+        for w in range(n_proc):
+            pid = os.fork()
+            if pid == 0:
+                try:
+                    for i in range(n_rec):
+                        append_record(build_record(
+                            f"w{w}", {"wall_seconds": float(i + 1)},
+                            labels={"blob": blob}, sha="f" * 8), p)
+                    os._exit(0)
+                except BaseException:
+                    os._exit(1)
+            pids.append(pid)
+        assert all(os.waitpid(pid, 0)[1] == 0 for pid in pids)
+        lines = open(p).read().splitlines()
+        assert len(lines) == n_proc * n_rec
+        for line in lines:
+            assert json.loads(line)["labels"]["blob"] == blob
+        assert len(load_history(p)) == n_proc * n_rec
+
     def test_bench_out_dir_defaults_to_repo_root(self, monkeypatch):
         from repro.bench.history import repo_root
         from repro.obs.metrics import bench_out_dir

@@ -218,6 +218,61 @@ class TestCheckpointStore:
         with pytest.raises(CheckpointError):
             CheckpointStore(tmp_path / "ck").restore_latest(sim)
 
+    def test_rollback_then_resave_drops_abandoned_timeline(self, tmp_path):
+        # PR-9 regression: a save below existing generations used to
+        # leave the rolled-back-past checkpoints on disk and in the
+        # manifest, so restore_latest resurrected abandoned state.
+        sim = Simulation.from_config(cavity_spec(),
+                                     cavity_config(threaded=False))
+        store = CheckpointStore(tmp_path / "ck", keep=3)
+        sim.run(2)
+        store.save(sim)                     # step 2
+        for _ in range(2):
+            sim.run(2)
+            store.save(sim)                 # steps 4, 6
+        store.restore(sim, 2)
+        sim.run(1)                          # new timeline from step 2
+        store.save(sim)                     # step 3 is now the head
+        assert store.steps() == [2, 3]
+        assert [e["step"] for e in store.manifest()["entries"]] == [2, 3]
+        other = Simulation.from_config(cavity_spec(),
+                                       cavity_config(threaded=False))
+        assert store.restore_latest(other) == 3
+        assert other.steps_done == 3
+
+    def test_lost_manifest_keeps_fallback_generations(self, tmp_path):
+        # PR-9 regression: with the manifest gone, pruning used to keep
+        # only the step just saved and delete every fallback generation.
+        sim = Simulation.from_config(cavity_spec(),
+                                     cavity_config(threaded=False))
+        store = CheckpointStore(tmp_path / "ck", keep=3)
+        for _ in range(2):
+            sim.run(2)
+            store.save(sim)                 # steps 2, 4
+        os.unlink(os.path.join(store.directory, CheckpointStore.MANIFEST))
+        sim.run(2)
+        store.save(sim)                     # step 6, manifest rebuilt
+        assert store.steps() == [2, 4, 6]
+
+    def test_restore_latest_tolerates_prune_racing_restore(self, tmp_path,
+                                                           monkeypatch):
+        # Another process' save() can prune a generation between our
+        # directory listing and the open; the vanished file must read as
+        # a damaged generation and fall back, not crash.
+        sim = Simulation.from_config(cavity_spec(),
+                                     cavity_config(threaded=False))
+        store = CheckpointStore(tmp_path / "ck")
+        sim.run(2)
+        store.save(sim)
+        good = state(sim)
+        listed = store.steps()
+        monkeypatch.setattr(CheckpointStore, "steps",
+                            lambda self: listed + [99])
+        other = Simulation.from_config(cavity_spec(),
+                                       cavity_config(threaded=False))
+        assert store.restore_latest(other) == 2
+        assert identical(good, state(other))
+
     def test_no_temp_files_left_behind(self, tmp_path):
         sim = Simulation.from_config(cavity_spec(),
                                      cavity_config(threaded=False))
