@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-threaded test-compiled test-mp lint lint-strict docs-check analysis static-check threaded-check obs report bench-smoke bench-check resilience-check check
+.PHONY: test test-threaded test-compiled test-mp lint lint-strict docs-check analysis static-check threaded-check obs report bench-smoke bench-check resilience-check serve-check check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -62,44 +62,52 @@ docs-check:
 	$(PYTHON) tools/check_links.py
 
 analysis:
-	$(PYTHON) -m repro.analysis --all-configs
+	$(PYTHON) -m repro analysis --all-configs
 
 # Declaration-only gate: symbolic access sets, fusion-legality proofs,
 # lint pass, step-plan certificates, static ⊇ dynamic cross-check and
 # the seeded-illegal negative control.
 static-check:
-	$(PYTHON) -m repro.analysis --static --all-configs --cert-dir certificates
+	$(PYTHON) -m repro analysis --static --all-configs --cert-dir certificates
 
 # Race-gate every config's captured schedule AND verify the threaded
 # wave executor reproduces serial results bit-for-bit.
 threaded-check:
-	$(PYTHON) -m repro.analysis --all-configs --threaded
+	$(PYTHON) -m repro analysis --all-configs --threaded
 
 # Telemetry smoke: trace + metrics artifacts for the Fig. 2 golden cavity.
 obs:
-	$(PYTHON) -m repro.obs --workload cavity2d --config case --out obs-artifacts
-	$(PYTHON) -m repro.obs --workload cavity2d --config baseline --out obs-artifacts
+	$(PYTHON) -m repro obs --workload cavity2d --config case --out-dir obs-artifacts
+	$(PYTHON) -m repro obs --workload cavity2d --config baseline --out-dir obs-artifacts
 
 # Observatory run report: trace + metrics + roofline + lint + certificate
 # digest + event log for the Fig. 2 golden cavity, text/HTML/JSON.
 report:
-	$(PYTHON) -m repro.obs report --workload cavity2d --config case \
-		--out report-artifacts
+	$(PYTHON) -m repro report --workload cavity2d --config case \
+		--out-dir report-artifacts
 
 # Quick benchmark pass that appends to BENCH_HISTORY.jsonl: one small
 # measurement per direction-setting config (pytest-benchmark not needed).
 bench-smoke:
-	$(PYTHON) -m repro.bench.smoke --out $${BENCH_OUT_DIR:-.}
+	$(PYTHON) -m repro bench --out-dir $${BENCH_OUT_DIR:-.}
 
 # The regression gate over the appended trajectory.  Lenient by default:
 # warnings (< 5x) inform, hard regressions (>= 5x) fail the target.
 bench-check: bench-smoke
-	$(PYTHON) -m repro.bench.history --check
+	$(PYTHON) -m repro history --check
 
 # Fault matrix: inject NaN / kernel / OOM faults into every fusion
 # config, serial and threaded, and require bit-identical recovery plus
 # visible telemetry (retries_total, rollback events).  Exit status gates.
 resilience-check:
-	$(PYTHON) -m repro.resilience --out resilience-artifacts
+	$(PYTHON) -m repro resilience --out-dir resilience-artifacts
 
-check: lint docs-check test test-threaded test-compiled test-mp threaded-check static-check resilience-check report bench-check
+# Job-server gate: a chaos-flooded multi-tenant demo (exit code fails on
+# any lost job) plus the focused fairness / restart-resume / chaos tests.
+serve-check:
+	$(PYTHON) -m repro serve --jobs 12 --tenants 3 --workers 2 \
+		--chaos 0.3 --seed 1 --out-dir serve-artifacts
+	$(PYTHON) -m repro serve --summary --out-dir serve-artifacts
+	$(PYTHON) -m pytest -x -q tests/test_serve.py -k "fair or resume or chaos"
+
+check: lint docs-check test test-threaded test-compiled test-mp threaded-check static-check resilience-check serve-check report bench-check

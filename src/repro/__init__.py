@@ -22,7 +22,7 @@ from .core import (ABLATION_CONFIGS, BGK, D2Q9, D3Q19, D3Q27, FUSED_FULL, KBC, T
                    drag_coefficient, kinetic_energy, legalize_regions, regrid,
                    solid_force, vorticity_indicator,
                    MODIFIED_BASELINE, ORIGINAL_BASELINE, Engine, FlowScales,
-                   FusionConfig, Lattice, NonUniformStepper, SimConfig,
+                   FusionConfig, Lattice, NonUniformStepper, RunResult, SimConfig,
                    Simulation, get_config, get_lattice, mlups, omega_at_level,
                    omega_from_viscosity)
 from .backend import (Backend, CompiledAABackend, CompiledBackend,
@@ -38,7 +38,8 @@ __version__ = "1.0.0"
 __all__ = [
     "ABLATION_CONFIGS", "BGK", "D2Q9", "D3Q19", "D3Q27", "FUSED_FULL", "KBC", "TRT",
     "MODIFIED_BASELINE", "ORIGINAL_BASELINE", "Engine", "FlowScales",
-    "FusionConfig", "Lattice", "NonUniformStepper", "SimConfig", "Simulation",
+    "FusionConfig", "Lattice", "NonUniformStepper", "RunResult", "SimConfig",
+    "Simulation",
     "get_config", "get_lattice", "mlups", "omega_at_level", "omega_from_viscosity",
     "AirplaneProxy", "BlockSparseGrid", "Box", "DomainBC", "Ellipsoid", "FaceBC",
     "MultiGrid", "RefinementSpec", "Shape", "Sphere", "build_multigrid",

@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro`` (the unified CLI facade)."""
+
+from .cli import main
+
+raise SystemExit(main())

@@ -1,5 +1,12 @@
-"""Entry point: ``python -m repro.analysis``."""
+"""Entry point: ``python -m repro.analysis`` (deprecated alias).
+
+Kept as a thin shim; the front door is ``python -m repro analysis``.
+"""
+
+import sys
 
 from .cli import main
 
+print("note: 'python -m repro.analysis' is deprecated; use "
+      "'python -m repro analysis'", file=sys.stderr)
 raise SystemExit(main())

@@ -165,7 +165,7 @@ def compare_serial_threaded(workload: Workload, config: FusionConfig,
             sim.elapsed = 0.0
             if sim.executor is not None:
                 sim.executor.stats.clear()  # drop warmup flushes
-            seconds = sim.run(steps)
+            seconds = sim.run(steps).seconds
             state = [(b.f.copy(), b.fstar.copy(), b.ghost_acc.copy())
                      for b in sim.engine.levels]
             stats = list(sim.executor.stats) if sim.executor else []

@@ -500,4 +500,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m
+    import sys
+    print("note: 'python -m repro.bench.history' is deprecated; use "
+          "'python -m repro history'", file=sys.stderr)
     raise SystemExit(main())

@@ -215,4 +215,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m
+    import sys
+    print("note: 'python -m repro.bench.smoke' is deprecated; use "
+          "'python -m repro bench'", file=sys.stderr)
     raise SystemExit(main())

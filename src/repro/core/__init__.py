@@ -11,6 +11,7 @@ from .fusion import (ABLATION_CONFIGS, FUSE_CA, FUSE_CA_SE_SO, FUSE_SE, FUSE_SO,
                      FUSED_FULL, MODIFIED_BASELINE, ORIGINAL_BASELINE, FusionConfig,
                      get_config)
 from .lattice import D2Q9, D3Q19, D3Q27, Lattice, get_lattice
+from .results import RunResult
 from .simulation import Simulation, mlups
 from .stepper import NonUniformStepper
 from .units import (FlowScales, omega_at_level, omega_from_viscosity, tau_at_level,
@@ -21,7 +22,7 @@ __all__ = [
     "BGK", "KBC", "TRT", "CollisionModel", "equilibrium", "guo_source",
     "macroscopics", "make_collision",
     "drag_coefficient", "enstrophy_2d", "kinetic_energy", "solid_force",
-    "Engine", "NonUniformStepper", "SimConfig", "Simulation", "mlups",
+    "Engine", "NonUniformStepper", "RunResult", "SimConfig", "Simulation", "mlups",
     "ABLATION_CONFIGS", "FUSE_CA", "FUSE_CA_SE_SO", "FUSE_SE", "FUSE_SO",
     "FUSED_FULL", "MODIFIED_BASELINE", "ORIGINAL_BASELINE", "FusionConfig",
     "get_config",

@@ -25,6 +25,7 @@ from .config import SimConfig
 from .engine import Engine
 from .fusion import FUSED_FULL, FusionConfig
 from .lattice import Lattice, get_lattice
+from .results import RunResult
 from .stepper import NonUniformStepper
 from .units import omega_from_viscosity
 
@@ -182,6 +183,13 @@ class Simulation:
         """The execution backend driving :meth:`step` (see :mod:`repro.backend`)."""
         return self.stepper.backend
 
+    @property
+    def mode(self) -> str:
+        """Execution mode: ``"mp"``, ``"threaded"`` or ``"serial"``."""
+        if getattr(self.backend, "name", "") == "mp":
+            return "mp"
+        return "threaded" if self.executor is not None else "serial"
+
     def initialize(self, rho: float = 1.0, u=None) -> None:
         """(Re-)initialise the populations to equilibrium; resets timing."""
         self.engine.initialize(rho, u)
@@ -191,8 +199,15 @@ class Simulation:
     def step(self) -> None:
         self.stepper.step()
 
-    def run(self, n_steps: int, callback=None, callback_every: int = 1) -> float:
-        """Run ``n_steps`` coarse steps and return the wall-clock seconds."""
+    def run(self, n_steps: int, callback=None,
+            callback_every: int = 1) -> RunResult:
+        """Run ``n_steps`` coarse steps; return a typed :class:`RunResult`.
+
+        ``float(result)`` is the wall-clock seconds of this call (the old
+        return value); the named fields add steps advanced, the backend
+        and execution mode that did the work and the measured MLUPS.
+        """
+        start_step = self.steps_done
         t0 = time.perf_counter()
         try:
             self.stepper.run(n_steps, callback=callback,
@@ -200,10 +215,22 @@ class Simulation:
         finally:
             dt = time.perf_counter() - t0
             self.elapsed += dt
-        return dt
+        return self._run_result(start_step, dt)
+
+    def _run_result(self, start_step: int, seconds: float) -> RunResult:
+        steps = self.steps_done - start_step
+        measured = (mlups(self.mgrid.active_per_level(), steps, seconds)
+                    if steps > 0 and seconds > 0 else 0.0)
+        rt = self.engine.rt
+        return RunResult(
+            steps=steps, final_step=self.steps_done, seconds=seconds,
+            backend=self.backend.name, mode=self.mode, mlups=measured,
+            metrics={"kernels_traced": len(rt.records),
+                     "steps_traced": len(rt.markers),
+                     "elapsed_total": self.elapsed})
 
     def run_until(self, target: int, callback=None,
-                  callback_every: int = 1) -> float:
+                  callback_every: int = 1) -> RunResult:
         """Run until ``steps_done`` reaches ``target`` (no-op if past it).
 
         The resumption-friendly variant of :meth:`run`: after a
@@ -244,11 +271,22 @@ class Simulation:
         Backends owning external resources (the mp backend's worker
         processes and shared-memory arena) expose a duck-typed
         ``close()``; in-process backends have nothing to release.
+
+        Idempotent and safe from ``finally`` paths: calling it twice
+        (server shutdown racing a worker's own cleanup) is a no-op the
+        second time, and a partially-built simulation — ``_build``
+        raised before the stepper existed — closes whatever it has
+        instead of raising ``AttributeError``.  The simulation itself
+        stays usable: stepping again lazily respawns backend resources.
         """
-        self.disable_threading()
-        close = getattr(self.stepper.backend, "close", None)
-        if close is not None:
-            close()
+        engine = getattr(self, "engine", None)
+        if engine is not None:
+            self.disable_threading()
+        stepper = getattr(self, "stepper", None)
+        if stepper is not None:
+            close = getattr(stepper.backend, "close", None)
+            if close is not None:
+                close()
 
     def __enter__(self) -> "Simulation":
         return self

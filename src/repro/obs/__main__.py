@@ -1,5 +1,13 @@
-"""Entry point: ``python -m repro.obs``."""
+"""Entry point: ``python -m repro.obs`` (deprecated alias).
+
+Kept as a thin shim; the front door is ``python -m repro obs`` (and
+``python -m repro report`` for the run report).
+"""
+
+import sys
 
 from .cli import main
 
+print("note: 'python -m repro.obs' is deprecated; use "
+      "'python -m repro obs' (or 'python -m repro report')", file=sys.stderr)
 raise SystemExit(main())

@@ -107,8 +107,12 @@ class HealthWatchdog:
         if stepper.steps_done % self.every == 0:
             self.check()
 
-    def watch(self, n_steps: int) -> float:
-        """Run ``n_steps`` coarse steps under supervision."""
+    def watch(self, n_steps: int):
+        """Run ``n_steps`` coarse steps under supervision.
+
+        Returns the :class:`~repro.core.results.RunResult` of the
+        underlying :meth:`~repro.core.simulation.Simulation.run`.
+        """
         return self.sim.run(n_steps, callback=self.callback, callback_every=1)
 
     # -- the check -----------------------------------------------------------

@@ -1,8 +1,13 @@
-"""Entry point for ``python -m repro.resilience``."""
+"""Entry point: ``python -m repro.resilience`` (deprecated alias).
+
+Kept as a thin shim; the front door is ``python -m repro resilience``.
+"""
 
 import sys
 
 from .cli import main
 
 if __name__ == "__main__":
+    print("note: 'python -m repro.resilience' is deprecated; use "
+          "'python -m repro resilience'", file=sys.stderr)
     sys.exit(main(sys.argv[1:]))

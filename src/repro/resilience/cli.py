@@ -90,7 +90,7 @@ def run_matrix(workload: str = "cavity2d-2lvl", *,
                 row = {"config": fusion.name, "mode": mode, "fault": kind,
                        "fault_step": fault_step}
                 try:
-                    report = runner.run(steps)
+                    report = runner.run(steps).report
                     rollbacks = sum(1 for e in runner.recorder.events
                                     if e.name == "rollback")
                     row.update(

@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 
 from ..backend.mp import MpWorkerError
 from ..core.config import SimConfig
+from ..core.results import RunResult
 from ..core.simulation import Simulation
 from ..core.units import omega_from_viscosity
 from ..gpu.memory import DeviceOOMError
@@ -260,24 +261,26 @@ class ResilientRunner:
 
     @property
     def mode(self) -> str:
-        if getattr(self.sim.backend, "name", "") == "mp":
-            return "mp"
-        return "threaded" if self.sim.executor is not None else "serial"
+        return self.sim.mode
 
     # -- counters --------------------------------------------------------------
     def _count(self, name: str, help: str, amount: float = 1.0) -> None:
         self.registry.counter(name, help).inc(amount)
 
     # -- the recovery loop -----------------------------------------------------
-    def run(self, n_steps: int) -> RunReport:
+    def run(self, n_steps: int) -> RunResult:
         """Advance ``n_steps`` coarse steps, recovering as needed.
 
-        Returns a :class:`RunReport`; raises :class:`RetryExhausted`
-        (report attached) when the budget and the ladder are spent.
-        Callable repeatedly — the checkpoint store and telemetry carry
-        over.
+        Returns a :class:`~repro.core.results.RunResult` whose
+        :attr:`~repro.core.results.RunResult.report` carries the full
+        :class:`RunReport` (retries, rollbacks, degradation rungs);
+        raises :class:`RetryExhausted` (report attached) when the budget
+        and the ladder are spent.  Callable repeatedly — the checkpoint
+        store and telemetry carry over.
         """
         pol = self.policy
+        start_step = self.sim.steps_done
+        t0 = time.perf_counter()
         report = RunReport(target_step=self.sim.steps_done + int(n_steps),
                            mode=self.mode, omega_scale=self._omega_scale())
         if self.store.latest() is None:
@@ -344,7 +347,12 @@ class ResilientRunner:
         report.omega_scale = self._omega_scale()
         report.outcome = "degraded" if report.degradations else "ok"
         report.events = [e.as_dict() for e in self.recorder.events]
-        return report
+        seconds = time.perf_counter() - t0
+        result = self.sim._run_result(start_step, seconds)
+        return RunResult(steps=result.steps, final_step=result.final_step,
+                         seconds=seconds, backend=result.backend,
+                         mode=result.mode, mlups=result.mlups,
+                         metrics=result.metrics, report=report)
 
     # -- failure handling ------------------------------------------------------
     def _recover(self, report: RunReport, exc: BaseException,
@@ -454,8 +462,15 @@ class ResilientRunner:
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
-        """Release executor threads and the temporary checkpoint dir."""
-        self.sim.close()
+        """Release executor threads and the temporary checkpoint dir.
+
+        Idempotent: double-shutdown (a server's ``finally`` path racing
+        explicit cleanup) is a no-op the second time, and a runner whose
+        construction failed mid-way closes whatever it holds.
+        """
+        sim = getattr(self, "sim", None)
+        if sim is not None:
+            sim.close()
         if self.faults is not None:
             self.faults.uninstall()
         if self._tmp is not None:

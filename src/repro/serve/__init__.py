@@ -1,0 +1,29 @@
+"""Simulation-as-a-service: async multi-tenant job running (Section VI at
+fleet scale).
+
+``repro.serve`` turns the single-run machinery — ``Simulation``, the
+resilience ladder, checkpoints, the cost model, the unified event log —
+into a multi-tenant job service:
+
+* :class:`~repro.serve.spec.JobSpec` / :class:`~repro.serve.spec.JobStatus`
+  / :class:`~repro.serve.spec.JobResult` — the typed job lifecycle;
+* :func:`~repro.serve.oracle.predict_cost` — allocation-free cost-model
+  pricing for admission control and fair scheduling;
+* :class:`~repro.serve.server.JobServer` — the asyncio server:
+  weighted-fair scheduling by predicted cost, bounded workers, durable
+  checkpointed progress, worker-death recovery and restart-resume;
+* ``python -m repro serve`` — demo flood + fleet summary CLI.
+"""
+
+from .oracle import JobCost, predict_cost
+from .server import JobServer
+from .spec import (JOB_STATES, TERMINAL_STATES, AdmissionError, JobCancelled,
+                   JobResult, JobSpec, JobStatus, UnknownJobError,
+                   WorkerKilled)
+from .state import state_digest
+
+__all__ = [
+    "JOB_STATES", "TERMINAL_STATES", "AdmissionError", "JobCancelled",
+    "JobCost", "JobResult", "JobServer", "JobSpec", "JobStatus",
+    "UnknownJobError", "WorkerKilled", "predict_cost", "state_digest",
+]

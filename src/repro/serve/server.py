@@ -1,0 +1,658 @@
+"""Async multi-tenant simulation job server.
+
+:class:`JobServer` multiplexes many concurrent simulation jobs over a
+bounded worker pool.  The event loop owns scheduling, admission and
+telemetry; each admitted job runs on a worker thread driving a
+:class:`~repro.resilience.runner.ResilientRunner` in checkpoint-cadence
+segments, so every job gets the full per-job resilience ladder
+(rollback-retry, mp -> threaded -> serial, safety-omega) *and* the
+server gets segment-granular cancellation, durable progress and
+worker-death recovery on top.
+
+Scheduling policy — weighted fair queueing by predicted cost
+-----------------------------------------------------------
+
+Every submission is priced by the cost-model oracle
+(:func:`repro.serve.oracle.predict_cost`) before it runs.  Each tenant
+carries a *virtual time*: the cost-weighted service it has received,
+divided by its weight.  The dispatcher always starts the next job of the
+tenant with the **lowest virtual time** (ties break on tenant name, then
+priority, then submit order within the tenant), and charges that
+tenant's virtual time with the job's predicted cost at dispatch.  The
+result: tenants receive device time in proportion to their weights
+regardless of how many or how large their jobs are — a flood of small
+jobs from one tenant cannot starve another's single big one.  A tenant
+first seen mid-flight starts at the minimum live virtual time, so
+late joiners neither monopolize nor wait out the backlog.
+
+Durability
+----------
+
+Job state (``job.json``), payload (``payload.pkl``) and checkpoints live
+under ``<root>/jobs/<job_id>/`` (:mod:`repro.serve.state`).  Worker
+death — any exception escaping the resilience machinery — requeues the
+job (bounded by ``max_restarts``); a fresh worker resumes from the last
+checkpoint generation.  ``stop()`` interrupts running jobs at their next
+segment boundary and records them as ``queued``; a new server on the
+same root re-admits them on ``start()`` — that is the restart-resume
+path, and recovery is bit-identical to an uninterrupted run because the
+engine is deterministic and checkpoints are verbatim.
+
+Telemetry
+---------
+
+Every job writes its lifecycle to the unified event log
+(:mod:`repro.obs.log`) under its own run id with per-tenant labels; all
+jobs share one ``events.jsonl`` sink in the server root.  The
+:class:`~repro.obs.metrics.MetricsRegistry` carries fleet counters, and
+:meth:`JobServer.fleet_summary` renders the per-tenant health snapshot
+(also written to ``fleet_summary.json`` on ``stop()``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.results import RunResult
+from ..gpu.device import A100_40GB, DeviceSpec
+from ..io.checkpoint import CheckpointError, CheckpointStore
+from ..obs.log import EventLog
+from ..obs.metrics import MetricsRegistry
+from ..resilience.runner import ResilientRunner, RetryExhausted, RetryPolicy
+from .oracle import JobCost, predict_cost
+from .spec import (TERMINAL_STATES, AdmissionError, JobCancelled, JobResult,
+                   JobSpec, JobStatus, UnknownJobError)
+from .state import (CKPT_DIR, job_dir, rebuild_jobspec, scan_jobs,
+                    state_digest, write_job_payload, write_job_state)
+
+__all__ = ["JobServer"]
+
+
+class _Interrupted(RuntimeError):
+    """Server shutdown reached a worker between segments (not a failure)."""
+
+
+class _JobFailed(RuntimeError):
+    """The job itself is unrecoverable (retry budget + ladder exhausted)."""
+
+
+@dataclass
+class _Job:
+    """Server-internal bookkeeping for one submitted job."""
+
+    spec: JobSpec
+    status: JobStatus
+    predicted: JobCost
+    submitted_seq: int
+    log: EventLog
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    done_event: asyncio.Event = field(default_factory=asyncio.Event)
+    result: JobResult | None = None
+    rollback_steps: int = 0
+    seconds: float = 0.0
+    resumed: bool = False
+    flushed_lines: int = 0
+
+
+class JobServer:
+    """Simulation-as-a-service: submit jobs, await results.
+
+    Parameters
+    ----------
+    root:
+        Durable state directory (jobs, checkpoints, event sink, fleet
+        summary).  ``None`` uses a self-cleaning temporary directory —
+        fine for tests, pointless for restart-resume.
+    workers:
+        Concurrent jobs (worker threads).  Each job may additionally be
+        threaded/mp internally per its own ``SimConfig``.
+    max_queued_per_tenant:
+        Admission bound on one tenant's live (non-terminal) jobs.
+    max_outstanding_cost_us:
+        Admission bound on the fleet's total predicted unfinished cost
+        (cost-model microseconds); ``None`` disables the cap.
+    tenant_weights:
+        Fair-share weights (default 1.0 per tenant).
+    device:
+        :class:`~repro.gpu.device.DeviceSpec` the oracle prices against.
+    faults:
+        Optional ``factory(JobSpec) -> FaultInjector | None`` installed
+        on each job's runner — the test matrix's per-job fault seam.
+    chaos:
+        Optional ``hook(job_id, step)`` called between segments on the
+        worker thread; anything it raises is a worker death.  Test seam.
+    max_restarts:
+        Worker deaths tolerated per job before it is marked ``failed``.
+    registry:
+        Shared :class:`~repro.obs.metrics.MetricsRegistry` (fresh when
+        omitted; exposed as :attr:`registry`).
+    """
+
+    def __init__(self, root: str | None = None, *, workers: int = 2,
+                 max_queued_per_tenant: int = 64,
+                 max_outstanding_cost_us: float | None = None,
+                 tenant_weights: dict[str, float] | None = None,
+                 device: DeviceSpec = A100_40GB,
+                 faults: Callable[[JobSpec], Any] | None = None,
+                 chaos: Callable[[str, int], None] | None = None,
+                 max_restarts: int = 2,
+                 registry: MetricsRegistry | None = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._tmp = None
+        if root is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-serve-")
+            root = self._tmp.name
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.workers = int(workers)
+        self.max_queued_per_tenant = int(max_queued_per_tenant)
+        self.max_outstanding_cost_us = max_outstanding_cost_us
+        self.tenant_weights = dict(tenant_weights or {})
+        self.device = device
+        self.faults = faults
+        self.chaos = chaos
+        self.max_restarts = int(max_restarts)
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+        self._jobs: dict[str, _Job] = {}
+        self._queue: list[str] = []
+        self._vtime: dict[str, float] = {}
+        self._tenant_stats: dict[str, dict] = {}
+        self._outstanding_cost_us = 0.0
+        self._seq = 0
+        self._active = 0
+        self._running = False
+        self._stopping = threading.Event()
+        self._wake: asyncio.Event | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._tasks: set[asyncio.Task] = set()
+        #: Dispatch order of job ids — what the fairness tests assert on.
+        self.started_order: list[str] = []
+        self._log_path = os.path.join(self.root, "events.jsonl")
+
+    # -- lifecycle -------------------------------------------------------------
+    async def start(self, resume: bool = True) -> "JobServer":
+        """Start the dispatcher; optionally re-admit persisted jobs.
+
+        With ``resume`` every job recorded on disk in a non-terminal
+        state (a previous server stopped, or died, mid-flight) is
+        re-enqueued; its worker restores the newest readable checkpoint
+        generation before stepping.
+        """
+        if self._running:
+            raise RuntimeError("server already started")
+        self._wake = asyncio.Event()
+        self._stopping.clear()
+        self._running = True
+        if resume:
+            for job_id, state in scan_jobs(self.root):
+                if state.get("state") in TERMINAL_STATES or job_id in self._jobs:
+                    continue
+                try:
+                    spec = rebuild_jobspec(self.root, job_id, state)
+                except (OSError, KeyError, ValueError):
+                    continue  # torn payload: not resumable, keep the dir
+                job = self._admit(spec, restarts=int(state.get("restarts", 0)),
+                                  resumed=True)
+                job.status.steps_done = int(state.get("steps_done", 0))
+                job.log.note("resubmitted", origin="server-restart",
+                             steps_done=job.status.steps_done)
+                self._flush_log(job)
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        return self
+
+    async def stop(self) -> None:
+        """Interrupt at segment boundaries, persist, stop dispatching.
+
+        Running jobs are *not* lost: each is recorded as ``queued`` with
+        its progress, and a new server on the same root resumes it from
+        its last checkpoint.  Also writes ``fleet_summary.json``.
+        """
+        self._stopping.set()
+        self._running = False
+        if self._wake is not None:
+            self._wake.set()
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        if self._dispatcher is not None:
+            await self._dispatcher
+            self._dispatcher = None
+        self.write_fleet_summary()
+
+    async def drain(self) -> None:
+        """Wait until every submitted job reaches a terminal state."""
+        while True:
+            pending = [j.done_event.wait() for j in self._jobs.values()
+                       if not j.status.terminal]
+            if not pending:
+                return
+            await asyncio.gather(*pending)
+
+    async def __aenter__(self) -> "JobServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- public API ------------------------------------------------------------
+    def predict(self, spec: JobSpec) -> JobCost:
+        """The oracle's price for ``spec`` on this server's device."""
+        return predict_cost(spec.spec, spec.config, spec.steps, self.device)
+
+    async def submit(self, spec: JobSpec) -> str:
+        """Admit one job; return its id or raise :class:`AdmissionError`.
+
+        Admission is synchronous: the job is priced, checked against the
+        per-tenant queue bound and the fleet cost budget, persisted, and
+        queued for the fair scheduler.
+        """
+        if not self._running:
+            raise RuntimeError("server is not started")
+        if spec.job_id in self._jobs:
+            raise ValueError(f"job id {spec.job_id!r} already submitted")
+        tenant = str(spec.tenant)
+        live = sum(1 for j in self._jobs.values()
+                   if j.status.tenant == tenant and not j.status.terminal)
+        if live >= self.max_queued_per_tenant:
+            self._count("serve_rejected_total", "submissions refused")
+            raise AdmissionError(
+                f"tenant {tenant!r} already has {live} live jobs "
+                f"(limit {self.max_queued_per_tenant})", tenant)
+        cost = self.predict(spec)
+        if (self.max_outstanding_cost_us is not None
+                and self._outstanding_cost_us + cost.total_us
+                > self.max_outstanding_cost_us):
+            self._count("serve_rejected_total", "submissions refused")
+            raise AdmissionError(
+                f"fleet cost budget exceeded: outstanding "
+                f"{self._outstanding_cost_us:.0f}us + job "
+                f"{cost.total_us:.0f}us > "
+                f"{self.max_outstanding_cost_us:.0f}us", tenant)
+        job = self._admit(spec, cost=cost)
+        return job.spec.job_id
+
+    def status(self, job_id: str) -> JobStatus:
+        """A snapshot of one job's lifecycle."""
+        return self._get(job_id).status
+
+    async def result(self, job_id: str) -> JobResult:
+        """Wait for the job to finish; return its :class:`JobResult`."""
+        job = self._get(job_id)
+        await job.done_event.wait()
+        assert job.result is not None
+        return job.result
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; ``False`` if the job already finished.
+
+        Queued jobs are cancelled immediately; running jobs stop at
+        their next segment boundary (checkpoint cadence).
+        """
+        job = self._get(job_id)
+        if job.status.terminal:
+            return False
+        if job.spec.job_id in self._queue:
+            self._queue.remove(job.spec.job_id)
+            self._finalize(job, "cancelled")
+            return True
+        job.cancel_event.set()
+        return True
+
+    def jobs(self) -> list[JobStatus]:
+        """Every known job's status, in submission order."""
+        ordered = sorted(self._jobs.values(), key=lambda j: j.submitted_seq)
+        return [j.status for j in ordered]
+
+    # -- admission / bookkeeping -----------------------------------------------
+    def _get(self, job_id: str) -> _Job:
+        try:
+            return self._jobs[str(job_id)]
+        except KeyError:
+            raise UnknownJobError(str(job_id)) from None
+
+    def _admit(self, spec: JobSpec, cost: JobCost | None = None,
+               restarts: int = 0, resumed: bool = False) -> _Job:
+        if cost is None:
+            cost = self.predict(spec)
+        self._seq += 1
+        status = JobStatus(job_id=spec.job_id, tenant=str(spec.tenant),
+                           state="queued", steps=spec.steps,
+                           priority=spec.priority,
+                           predicted_cost_us=cost.total_us,
+                           restarts=restarts)
+        log = EventLog(run_id=spec.job_id, **spec.label_dict())
+        job = _Job(spec=spec, status=status, predicted=cost,
+                   submitted_seq=self._seq, log=log, resumed=resumed)
+        job.status.restarts = restarts
+        self._jobs[spec.job_id] = job
+        self._queue.append(spec.job_id)
+        self._outstanding_cost_us += cost.total_us
+        stats = self._tenant(status.tenant)
+        stats["submitted"] += 1
+        stats["predicted_cost_us"] += cost.total_us
+        self._count("serve_submitted_total", "jobs admitted")
+        if not resumed:
+            jdir = job_dir(self.root, spec.job_id)
+            write_job_payload(jdir, spec.spec, spec.config)
+            log.emit("meta", steps=spec.steps, tenant=status.tenant,
+                     priority=spec.priority,
+                     predicted_cost_us=cost.total_us,
+                     predicted=cost.as_dict(),
+                     config=spec.config.as_dict())
+        self._persist(job)
+        self._flush_log(job)
+        if self._wake is not None:
+            self._wake.set()
+        return job
+
+    def _tenant(self, tenant: str) -> dict:
+        return self._tenant_stats.setdefault(tenant, {
+            "submitted": 0, "done": 0, "failed": 0, "cancelled": 0,
+            "restarts": 0, "retries": 0, "rollback_steps": 0,
+            "degradations": 0, "checkpoints": 0,
+            "predicted_cost_us": 0.0, "served_cost_us": 0.0,
+            "wall_seconds": 0.0, "steps_done": 0,
+        })
+
+    def _count(self, name: str, help: str, amount: float = 1.0) -> None:
+        self.registry.counter(name, help).inc(amount)
+
+    def _persist(self, job: _Job) -> None:
+        state = job.status.as_dict()
+        state.update(
+            checkpoint_every=job.spec.checkpoint_every,
+            max_retries=job.spec.max_retries,
+            labels=job.spec.label_dict(),
+            submitted_seq=job.submitted_seq,
+            updated_at=time.time())
+        write_job_state(job_dir(self.root, job.spec.job_id), state)
+
+    def _flush_log(self, job: _Job) -> None:
+        """Append the job's new event lines to the shared sink."""
+        lines = job.log.lines[job.flushed_lines:]
+        if not lines:
+            return
+        import json
+        with open(self._log_path, "a") as fh:
+            for line in lines:
+                fh.write(json.dumps(line, sort_keys=True, default=str) + "\n")
+        job.flushed_lines = len(job.log.lines)
+
+    # -- the fair scheduler ----------------------------------------------------
+    def _weight(self, tenant: str) -> float:
+        return float(self.tenant_weights.get(tenant, 1.0)) or 1.0
+
+    def _pick_next(self) -> str:
+        """Dequeue the next job under weighted fair queueing.
+
+        Tenant choice: minimum virtual time (cost-weighted service so
+        far), ties on tenant name for determinism.  Within the tenant:
+        highest priority, then submit order.  The chosen tenant's
+        virtual time is charged the job's predicted cost immediately, so
+        consecutive picks interleave tenants even before any job ends.
+        """
+        by_tenant: dict[str, list[str]] = {}
+        for jid in self._queue:
+            by_tenant.setdefault(self._jobs[jid].status.tenant, []).append(jid)
+        live_vt = [self._vtime[t] for t in by_tenant if t in self._vtime]
+        floor = min(live_vt) if live_vt else 0.0
+        for t in by_tenant:
+            self._vtime.setdefault(t, floor)
+        tenant = min(by_tenant, key=lambda t: (self._vtime[t], t))
+        jid = min(by_tenant[tenant],
+                  key=lambda j: (-self._jobs[j].status.priority,
+                                 self._jobs[j].submitted_seq))
+        self._queue.remove(jid)
+        job = self._jobs[jid]
+        self._vtime[tenant] += job.predicted.total_us / self._weight(tenant)
+        return jid
+
+    async def _dispatch_loop(self) -> None:
+        assert self._wake is not None
+        while self._running:
+            while (self._running and self._queue
+                   and self._active < self.workers
+                   and not self._stopping.is_set()):
+                jid = self._pick_next()
+                job = self._jobs[jid]
+                self._active += 1
+                self.started_order.append(jid)
+                job.status.state = "admitted"
+                job.log.note("admitted", order=len(self.started_order),
+                             predicted_cost_us=job.predicted.total_us)
+                task = asyncio.create_task(self._run_job(job))
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+            self._wake.clear()
+            if not self._running:
+                return
+            await self._wake.wait()
+
+    # -- per-job execution -----------------------------------------------------
+    async def _run_job(self, job: _Job) -> None:
+        job.status.state = "running"
+        job.log.note("running", restarts=job.status.restarts)
+        self._persist(job)
+        self._flush_log(job)
+        try:
+            payload = await asyncio.to_thread(self._drive, job)
+        except JobCancelled:
+            self._note_events(job, [("note", {"message": "cancelled",
+                                              "step": job.status.steps_done})])
+            self._finalize(job, "cancelled")
+        except _Interrupted:
+            # Server shutdown: park the job as queued for the next
+            # server incarnation; deliberately NOT terminal.
+            job.status.state = "queued"
+            job.log.note("interrupted", step=job.status.steps_done)
+            self._persist(job)
+            self._flush_log(job)
+        except _JobFailed as exc:
+            job.status.error = str(exc)
+            self._note_events(job, [("note", {"message": "exhausted",
+                                              "error": str(exc)})])
+            self._finalize(job, "failed")
+        except Exception as exc:  # worker death
+            job.status.restarts += 1
+            self._tenant(job.status.tenant)["restarts"] += 1
+            self._count("serve_worker_deaths_total", "workers lost mid-job")
+            job.log.emit("resilience", event="worker-death",
+                         step=job.status.steps_done,
+                         restart=job.status.restarts,
+                         error=f"{type(exc).__name__}: {exc}")
+            if (job.status.restarts <= self.max_restarts
+                    and not self._stopping.is_set()):
+                job.status.state = "queued"
+                self._queue.append(job.spec.job_id)
+                self._count("serve_requeues_total", "jobs requeued after "
+                            "worker death")
+                self._persist(job)
+                self._flush_log(job)
+            else:
+                job.status.error = f"{type(exc).__name__}: {exc}"
+                self._finalize(job, "failed")
+        else:
+            job.result = self._build_result(job, payload)
+            self._note_events(job, payload["notes"])
+            job.log.emit("metric", labels={"final": True},
+                         values={"steps_done": job.status.steps_done,
+                                 "seconds": job.seconds,
+                                 "checkpoints": job.status.checkpoints,
+                                 "retries": job.status.retries,
+                                 "rollback_steps": job.rollback_steps,
+                                 "restarts": job.status.restarts,
+                                 "degradations": len(job.status.degradations)})
+            self._finalize(job, "done")
+        finally:
+            self._active -= 1
+            if self._wake is not None:
+                self._wake.set()
+
+    def _note_events(self, job: _Job, notes: list) -> None:
+        for kind, data in notes:
+            if kind == "note":
+                job.log.note(data.pop("message", "note"), **data)
+            else:
+                job.log.emit(kind, **data)
+
+    def _build_result(self, job: _Job, payload: dict) -> JobResult:
+        return JobResult(
+            job_id=job.spec.job_id, tenant=job.status.tenant, state="done",
+            steps_done=job.status.steps_done, seconds=job.seconds,
+            predicted_cost_us=job.status.predicted_cost_us,
+            checkpoints=job.status.checkpoints, retries=job.status.retries,
+            rollback_steps=job.rollback_steps, restarts=job.status.restarts,
+            degradations=list(job.status.degradations),
+            state_digest=payload["digest"], run=payload["run"])
+
+    def _finalize(self, job: _Job, state: str) -> None:
+        job.status.state = state
+        stats = self._tenant(job.status.tenant)
+        stats[{"done": "done", "failed": "failed",
+               "cancelled": "cancelled"}[state]] += 1
+        stats["wall_seconds"] += job.seconds
+        stats["steps_done"] += job.status.steps_done
+        stats["retries"] += job.status.retries
+        stats["rollback_steps"] += job.rollback_steps
+        stats["checkpoints"] += job.status.checkpoints
+        stats["degradations"] += len(job.status.degradations)
+        if state == "done":
+            stats["served_cost_us"] += job.status.predicted_cost_us
+        self._outstanding_cost_us = max(
+            0.0, self._outstanding_cost_us - job.status.predicted_cost_us)
+        self._count(f"serve_jobs_{state}_total", f"jobs {state}")
+        if job.result is None:
+            job.result = JobResult(
+                job_id=job.spec.job_id, tenant=job.status.tenant, state=state,
+                steps_done=job.status.steps_done, seconds=job.seconds,
+                predicted_cost_us=job.status.predicted_cost_us,
+                checkpoints=job.status.checkpoints,
+                retries=job.status.retries, rollback_steps=job.rollback_steps,
+                restarts=job.status.restarts,
+                degradations=list(job.status.degradations),
+                error=job.status.error)
+        else:
+            job.result.state = state
+        job.log.note(state, step=job.status.steps_done)
+        self.registry.snapshot(tenant=job.status.tenant,
+                               job=job.spec.job_id, state=state)
+        self._persist(job)
+        self._flush_log(job)
+        job.done_event.set()
+
+    def _drive(self, job: _Job) -> dict:
+        """Worker-thread body: run the job to its target in segments.
+
+        Returns the completion payload; raises :class:`JobCancelled`,
+        :class:`_Interrupted` (server stopping), :class:`_JobFailed`
+        (retry budget + ladder exhausted) or any other exception, which
+        the caller treats as worker death.
+        """
+        spec = job.spec
+        jdir = job_dir(self.root, spec.job_id)
+        store = CheckpointStore(os.path.join(jdir, CKPT_DIR), keep=3)
+        faults = self.faults(spec) if self.faults is not None else None
+        policy = RetryPolicy(checkpoint_every=spec.checkpoint_every,
+                             max_retries=spec.max_retries)
+        notes: list = []
+        segments: list[RunResult] = []
+        runner = ResilientRunner(spec.spec, spec.config, policy=policy,
+                                 store=store, faults=faults)
+        t0 = time.perf_counter()
+        try:
+            if store.latest() is not None and runner.sim.steps_done == 0:
+                # A previous incarnation made progress: resume from the
+                # newest readable generation instead of step 0.
+                try:
+                    restored = store.restore_latest(runner.sim)
+                except CheckpointError:
+                    restored = 0
+                if restored:
+                    notes.append(("resilience", {"event": "resume",
+                                                 "from_step": restored,
+                                                 "restart": job.status.restarts}))
+                    job.status.steps_done = restored
+            while runner.sim.steps_done < spec.steps:
+                if self._stopping.is_set():
+                    raise _Interrupted()
+                if job.cancel_event.is_set():
+                    raise JobCancelled(spec.job_id)
+                if self.chaos is not None:
+                    self.chaos(spec.job_id, runner.sim.steps_done)
+                segment = min(spec.checkpoint_every,
+                              spec.steps - runner.sim.steps_done)
+                try:
+                    res = runner.run(segment)
+                except RetryExhausted as exc:
+                    raise _JobFailed(str(exc)) from exc
+                segments.append(res)
+                report = res.report
+                job.status.steps_done = res.final_step
+                job.status.checkpoints += report.checkpoints
+                job.status.retries += report.retries
+                job.rollback_steps += report.rollback_steps
+                for rung in report.degradations:
+                    job.status.degradations.append(rung)
+                    notes.append(("resilience", {"event": "degrade", **rung}))
+                notes.append(("note", {"message": "checkpointed",
+                                       "step": res.final_step}))
+                job.seconds += res.seconds
+                self._persist(job)
+            digest = state_digest(runner.sim)
+        finally:
+            job.seconds = max(job.seconds, time.perf_counter() - t0)
+            runner.close()
+        return {"digest": digest, "notes": notes,
+                "run": self._merge_segments(segments)}
+
+    @staticmethod
+    def _merge_segments(segments: list[RunResult]) -> RunResult | None:
+        if not segments:
+            return None
+        steps = sum(s.steps for s in segments)
+        seconds = sum(s.seconds for s in segments)
+        last = segments[-1]
+        weighted = (sum(s.mlups * s.seconds for s in segments) / seconds
+                    if seconds > 0 else 0.0)
+        return RunResult(steps=steps, final_step=last.final_step,
+                         seconds=seconds, backend=last.backend,
+                         mode=last.mode, mlups=weighted,
+                         metrics=last.metrics, report=last.report)
+
+    # -- fleet health ----------------------------------------------------------
+    def fleet_summary(self) -> dict:
+        """Per-tenant and fleet-wide health snapshot (JSON-ready)."""
+        states: dict[str, int] = {}
+        for j in self._jobs.values():
+            states[j.status.state] = states.get(j.status.state, 0) + 1
+        return {
+            "version": 1,
+            "root": self.root,
+            "workers": self.workers,
+            "device": self.device.name,
+            "jobs_total": len(self._jobs),
+            "states": states,
+            "outstanding_cost_us": self._outstanding_cost_us,
+            "started_order": list(self.started_order),
+            "tenants": {t: dict(s) for t, s in
+                        sorted(self._tenant_stats.items())},
+            "jobs": [s.as_dict() for s in self.jobs()],
+        }
+
+    def write_fleet_summary(self, path: str | None = None) -> str:
+        """Serialize :meth:`fleet_summary` (default ``fleet_summary.json``)."""
+        import json
+        if path is None:
+            path = os.path.join(self.root, "fleet_summary.json")
+        with open(path, "w") as fh:
+            json.dump(self.fleet_summary(), fh, indent=2, sort_keys=True,
+                      default=str)
+            fh.write("\n")
+        return path

@@ -156,7 +156,7 @@ class TestResilience:
             assert runner.mode == "mp"
             runner.run(2)
             runner.sim.backend._procs[0].kill()
-            report = runner.run(2)
+            report = runner.run(2).report
             assert report.final_step == 4
             assert report.outcome == "ok"
             assert report.retries >= 1
@@ -174,7 +174,7 @@ class TestResilience:
                 raise MpWorkerError("injected pool failure")
 
             runner.sim.backend.step = doomed_step
-            report = runner.run(2)
+            report = runner.run(2).report
             assert [d["rung"] for d in report.degradations] == ["threaded"]
             assert runner.mode == "threaded"
             assert report.final_step == 2

@@ -303,7 +303,7 @@ def test_recovery_bit_identical(fusion, kind):
     injector = FaultInjector([Fault(kind, step=5)])
     with ResilientRunner(spec, config, faults=injector,
                          policy=RetryPolicy(checkpoint_every=3)) as runner:
-        report = runner.run(steps)
+        report = runner.run(steps).report
         assert report.outcome == "ok"
         assert report.retries == 1
         assert len(injector.fired) == 1
@@ -315,7 +315,7 @@ def test_recovery_is_visible_in_telemetry():
     injector = FaultInjector([Fault("nan", step=4)])
     with ResilientRunner(spec, cavity_config(), faults=injector,
                          policy=RetryPolicy(checkpoint_every=3)) as runner:
-        report = runner.run(6)
+        report = runner.run(6).report
     assert runner.registry["retries_total"].value == 1
     assert runner.registry["rollback_steps"].value >= 1
     assert runner.registry["checkpoints_total"].value == report.checkpoints
@@ -352,7 +352,7 @@ def test_ladder_falls_back_to_serial_and_stays_bit_identical():
                          policy=RetryPolicy(
                              checkpoint_every=3,
                              executor_failures_before_serial=2)) as runner:
-        report = runner.run(steps)
+        report = runner.run(steps).report
         assert report.outcome == "degraded"
         assert report.mode == "serial"
         assert [d["rung"] for d in report.degradations] == ["serial"]
@@ -371,7 +371,7 @@ def test_ladder_rebuilds_with_safety_omega_on_repeated_divergence():
     with ResilientRunner(spec, cavity_config(threaded=False),
                          faults=injector, policy=policy) as runner:
         omega_before = runner.sim.engine.omega[0]
-        report = runner.run(6)
+        report = runner.run(6).report
         assert report.outcome == "degraded"
         assert report.omega_scale == pytest.approx(0.8)
         assert [d["rung"] for d in report.degradations] == ["safety-omega"]
@@ -388,7 +388,7 @@ def test_backoff_schedule_uses_injected_sleep():
     with ResilientRunner(spec, cavity_config(threaded=False),
                          faults=injector, policy=policy,
                          sleep=naps.append) as runner:
-        report = runner.run(4)
+        report = runner.run(4).report
     assert report.outcome == "ok"
     assert naps == [0.5, 1.0, 1.5]  # geometric, capped at max_backoff
 

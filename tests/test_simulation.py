@@ -51,11 +51,19 @@ class TestRun:
         sim.step()
         assert sim.steps_done == 4
 
-    def test_run_returns_elapsed(self):
+    def test_run_returns_structured_result(self):
         sim = Simulation(spec_2d(), "D2Q9", "bgk", viscosity=0.1)
-        dt = sim.run(2)
-        assert dt > 0
-        assert sim.elapsed >= dt
+        res = sim.run(2)
+        assert res.steps == 2 and res.final_step == 2
+        assert res.seconds > 0
+        assert float(res) == res.seconds  # numeric shim for old callers
+        assert sim.elapsed >= res.seconds
+        assert res.backend == sim.backend.name
+        assert res.mode == sim.mode
+        assert res.mlups > 0
+        assert res.report is None and res.outcome == "ok"
+        d = res.as_dict()
+        assert d["steps"] == 2 and d["report"] is None
 
     def test_callback_cadence(self):
         sim = Simulation(spec_2d(), "D2Q9", "bgk", viscosity=0.1)
@@ -107,3 +115,58 @@ class TestMlupsFormula:
     def test_rejects_zero_time(self):
         with pytest.raises(ValueError):
             mlups([10], 1, 0.0)
+
+
+class TestCloseIdempotency:
+    """close() must be safe from finally-paths and double-shutdown."""
+
+    def _sim(self, **overrides):
+        from repro.core.config import SimConfig
+        cfg = SimConfig(lattice="D2Q9", viscosity=0.1, **overrides)
+        return Simulation.from_config(spec_2d(), cfg)
+
+    def test_double_close_serial(self):
+        sim = self._sim(threaded=False)
+        sim.run(1)
+        sim.close()
+        sim.close()  # regression: second close must be a no-op
+
+    def test_double_close_threaded(self):
+        sim = self._sim(threaded=True)
+        sim.run(1)
+        sim.close()
+        sim.close()
+        assert sim.executor is None
+
+    def test_double_close_mp(self):
+        sim = self._sim(backend="mp", mp_workers=2, threaded=False)
+        try:
+            sim.run(1)
+        finally:
+            sim.close()
+            sim.close()  # arena/pool teardown must tolerate repeats
+
+    def test_close_then_run_then_close_again(self):
+        sim = self._sim(threaded=False)
+        sim.run(1)
+        sim.close()
+        sim.run(1)   # simulation stays usable after close
+        sim.close()
+        assert sim.steps_done == 2
+
+    def test_close_on_partially_built_simulation(self):
+        # A simulation whose _build failed must still close() cleanly
+        # from a caller's finally path.
+        sim = Simulation.__new__(Simulation)
+        sim.close()
+
+    def test_resilient_runner_double_close(self):
+        from repro.resilience import ResilientRunner, RetryPolicy
+        from repro.core.config import SimConfig
+        runner = ResilientRunner(spec_2d(),
+                                 SimConfig(lattice="D2Q9", viscosity=0.1,
+                                           threaded=False),
+                                 policy=RetryPolicy(checkpoint_every=2))
+        runner.run(2)
+        runner.close()
+        runner.close()
